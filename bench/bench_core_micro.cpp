@@ -1,0 +1,71 @@
+// Microbenchmarks of the simulator substrate (google-benchmark): event
+// queue throughput, DRE updates, route construction, and the end-to-end
+// packet pipeline rate. These bound how much simulated traffic the
+// experiment harness can push per wall-clock second.
+
+#include <benchmark/benchmark.h>
+
+#include "hermes/net/dre.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/simulator.hpp"
+#include "hermes/harness/scenario.hpp"
+
+namespace {
+
+using namespace hermes;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) q.post_at(sim::usec(i % 100), [] {});
+    q.run();
+    benchmark::DoNotOptimize(q.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_DreAddAndRead(benchmark::State& state) {
+  net::Dre dre{sim::usec(50), 0.1};
+  sim::SimTime t{};
+  for (auto _ : state) {
+    dre.add(1500, t);
+    benchmark::DoNotOptimize(dre.rate_bps(t));
+    t += sim::nsec(1200);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DreAddAndRead);
+
+void BM_RouteConstruction(benchmark::State& state) {
+  sim::Simulator simulator{1};
+  net::Topology topo{simulator, net::TopologyConfig{}};
+  int path = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.forward_route(0, 100, path));
+    path = (path + 1) % topo.paths_between_leaves(0, 6).size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteConstruction);
+
+void BM_PacketPipeline10MB(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig cfg;
+    cfg.topo.num_leaves = 2;
+    cfg.topo.num_spines = 2;
+    cfg.topo.hosts_per_leaf = 1;
+    cfg.scheme = harness::Scheme::kHermes;
+    harness::Scenario s{cfg};
+    s.add_flow(0, 1, 10'000'000, sim::SimTime::zero());
+    auto fct = s.run();
+    benchmark::DoNotOptimize(fct.overall().mean_us);
+  }
+  // ~6850 data packets + ACKs per iteration.
+  state.SetItemsProcessed(state.iterations() * 13700);
+}
+BENCHMARK(BM_PacketPipeline10MB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Extension: buffer architecture ablation. The paper's testbed switches
+// (Pronto 3295) are shared-memory devices; this bench quantifies how the
+// buffer model interacts with incast and with the load balancer: static
+// per-port carving vs one Dynamic Threshold pool of the same total size.
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  using harness::Scheme;
+  const double scale = bench::parse_scale(argc, argv);
+
+  bench::print_header(
+      "Extension: static per-port buffers vs shared Dynamic Threshold pool",
+      "same total memory; DT absorbs synchronized incast bursts that overflow a "
+      "static carving, cutting timeouts and small-flow p99");
+
+  for (int fanin : {16, 32, 64}) {
+    std::printf("[%d-to-1 incast of 256KB responses + web-search background]\n", fanin);
+    stats::Table t({"buffers", "incast p99", "timeouts", "bg overall avg"});
+    for (bool shared : {false, true}) {
+      harness::ScenarioConfig cfg;
+      cfg.topo.num_leaves = 4;
+      cfg.topo.num_spines = 4;
+      cfg.topo.hosts_per_leaf = 16;
+      if (shared) {
+        const auto per_port = cfg.topo.queue_bytes_for(10e9);
+        cfg.topo.shared_buffer_bytes =
+            static_cast<std::uint64_t>(16 + 4) * per_port;  // same total as static
+        cfg.topo.dt_alpha = 1.0;
+      }
+      cfg.scheme = Scheme::kHermes;
+      harness::Scenario s{cfg};
+
+      // Background load.
+      workload::TrafficConfig tc{.load = 0.3,
+                                 .num_flows = bench::scaled(200, scale),
+                                 .seed = 1};
+      s.add_flows(workload::generate_poisson_traffic(s.topology(),
+                                                     workload::SizeDist::web_search(), tc));
+      // Synchronized fan-in to host 0 at t = 2ms.
+      std::vector<std::uint64_t> incast_ids;
+      for (int i = 0; i < fanin; ++i) {
+        incast_ids.push_back(
+            s.add_flow(16 + i % 48, 0, 256 * 1024, sim::msec(2)));
+      }
+      auto fct = s.run();
+
+      std::vector<double> incast_fcts;
+      double bg_sum = 0;
+      int bg_n = 0;
+      for (const auto& r : fct.records()) {
+        const bool is_incast =
+            std::find(incast_ids.begin(), incast_ids.end(), r.id) != incast_ids.end();
+        if (is_incast) {
+          incast_fcts.push_back(r.fct().to_usec());
+        } else if (r.finished) {
+          bg_sum += r.fct().to_usec();
+          ++bg_n;
+        }
+      }
+      t.add_row({shared ? "shared DT pool" : "static per-port",
+                 stats::Table::usec(stats::percentile(incast_fcts, 99)),
+                 std::to_string(fct.total_timeouts()),
+                 stats::Table::usec(bg_n ? bg_sum / bg_n : 0)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 17: [Simulation] performance under a packet blackhole: one spine
+// deterministically drops packets of half the source-destination pairs
+// from rack 1 to rack 8 (indices 0 and 7 here), web-search workload.
+//
+// Paper claims: Hermes detects the blackhole after 3 timeouts, so every
+// flow finishes and Hermes is >=1.6x better than all others; ECMP
+// strands the flows hashed onto the failed switch (unfinished flows blow
+// its average up 9-22x); CONGA shifts MORE flows into the blackhole (it
+// looks uncongested); Presto* finishes everything (round robin touches
+// all paths) but is slowed; LetFlow escapes eventually via flowlets.
+
+#include "bench_util.hpp"
+#include "hermes/lb/flow_ctx.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hermes;
+  using harness::Scheme;
+  const double scale = bench::parse_scale(argc, argv);
+
+  bench::print_header(
+      "Figure 17: packet blackhole (half of rack0->rack7 pairs at one spine), web-search",
+      "Hermes: all flows finish, >=1.6x better; ECMP ~unfinished flows, 9-22x worse; "
+      "CONGA worse than ECMP (shifts flows INTO the blackhole)");
+
+  const Scheme schemes[] = {Scheme::kEcmp, Scheme::kConga, Scheme::kLetFlow,
+                            Scheme::kPrestoStar, Scheme::kHermes};
+  const double loads[] = {0.3, 0.5, 0.7};
+  const int flows = bench::scaled(1000, scale);
+  const int warmup = bench::scaled(200, scale);
+  const auto ws = workload::SizeDist::web_search();
+  const int failed_spine = 2;
+
+  for (double load : loads) {
+    std::printf("[load %.1f, %d flows, blackhole at spine %d]\n", load, flows, failed_spine);
+    stats::Table t({"scheme", "avg FCT (incl. unfinished)", "unfinished", "affected-pair avg",
+                    "norm. to Hermes"});
+    double hermes = 1;
+    struct Cell {
+      double mean, unfinished, affected;
+    };
+    std::vector<Cell> cells;
+    for (Scheme scheme : schemes) {
+      harness::ScenarioConfig cfg;
+      cfg.topo = bench::sim_topology();
+      cfg.scheme = scheme;
+      cfg.max_sim_time = sim::sec(5);
+      auto install = [&](harness::Scenario& s) {
+        s.topology().spine(failed_spine).set_failure(
+            {.blackhole =
+                 [&topo = s.topology()](const net::Packet& p) {
+                   if (p.type != net::PacketType::kData) return false;
+                   if (topo.leaf_of(p.src) != 0 || topo.leaf_of(p.dst) != 7) return false;
+                   // "half of the source-destination IP pairs"
+                   return lb::mix64(static_cast<std::uint64_t>(p.src) * 4096 +
+                                    static_cast<std::uint64_t>(p.dst)) %
+                              2 ==
+                          0;
+                 },
+             .random_drop_rate = 0.0});
+      };
+      auto fct = bench::skip_warmup(bench::run_cell(cfg, ws, load, flows, 1, install),
+                                    static_cast<std::uint64_t>(warmup));
+      // Affected-pair breakdown: the collector has no src/dst, so
+      // approximate the affected set by the slowest 2% of flows
+      // (dominated by blackholed pairs).
+      double affected_sum = 0;
+      int affected_n = 0;
+      std::vector<double> fcts;
+      for (const auto& r : fct.records()) fcts.push_back(r.fct().to_usec());
+      const double p98 = stats::percentile(fcts, 98);
+      for (double v : fcts)
+        if (v >= p98) {
+          affected_sum += v;
+          ++affected_n;
+        }
+      Cell c{fct.overall_with_unfinished().mean_us, fct.unfinished_fraction(),
+             affected_n ? affected_sum / affected_n : 0};
+      cells.push_back(c);
+      if (scheme == Scheme::kHermes) hermes = c.mean;
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      t.add_row({bench::short_name(schemes[i]), stats::Table::usec(cells[i].mean),
+                 stats::Table::pct(cells[i].unfinished, 2), stats::Table::usec(cells[i].affected),
+                 stats::Table::num(cells[i].mean / hermes, 2)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Incast: N synchronized senders answer one aggregator host at once —
+// the classic partition/aggregate pattern that motivates DCTCP. Shows
+// the transport substrate (ECN keeping the fan-in queue near the
+// marking threshold) and why last-hop congestion is path-independent:
+// no load balancer can route around the receiver's own link.
+//
+//   $ ./incast
+
+#include <cstdio>
+
+#include "hermes/harness/scenario.hpp"
+#include "hermes/harness/trace.hpp"
+#include "hermes/stats/table.hpp"
+
+int main() {
+  using namespace hermes;
+
+  stats::Table t({"senders", "response", "max fan-in queue", "p99 FCT", "timeouts"});
+  for (int senders : {4, 8, 16, 32}) {
+    harness::ScenarioConfig cfg;
+    cfg.topo.num_leaves = 4;
+    cfg.topo.num_spines = 4;
+    cfg.topo.hosts_per_leaf = 12;
+    cfg.scheme = harness::Scheme::kHermes;
+    harness::Scenario s{cfg};
+
+    // The aggregator is host 0; responders are spread over other racks.
+    constexpr std::uint64_t kResponse = 256 * 1024;
+    for (int i = 0; i < senders; ++i) {
+      const int responder = 12 + i;  // racks 1..3
+      s.add_flow(responder, 0, kResponse, sim::usec(0));
+    }
+
+    // The fan-in point: leaf0's port toward host 0.
+    harness::QueueTrace trace{s.simulator(), s.topology().leaf(0).port(0), sim::usec(10)};
+    trace.start(sim::msec(20));
+
+    auto fct = s.run();
+    t.add_row({std::to_string(senders), "256KB",
+               stats::Table::num(trace.max_backlog() / 1e3, 1) + " KB",
+               stats::Table::usec(fct.overall().p99_us),
+               std::to_string(fct.total_timeouts())});
+  }
+  t.print();
+  std::printf("\nThe synchronized initial windows (senders x IW x MSS) spike the fan-in\n"
+              "queue; DCTCP's marking then drags it back toward the 97.5KB threshold,\n"
+              "so p99 grows linearly with the fan-in rather than collapsing into RTOs.\n");
+  return 0;
+}

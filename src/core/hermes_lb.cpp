@@ -1,0 +1,268 @@
+#include "hermes/core/hermes_lb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace hermes::core {
+
+HermesLb::HermesLb(sim::Simulator& simulator, net::Topology& topo, HermesConfig config)
+    : simulator_{simulator},
+      topo_{topo},
+      config_{config},
+      rng_{simulator.rng_stream(0x4E14E5)},
+      num_leaves_{topo.config().num_leaves} {
+  pairs_.resize(static_cast<std::size_t>(num_leaves_) * num_leaves_);
+}
+
+HermesLb::PairState& HermesLb::pair(int src_leaf, int dst_leaf) {
+  PairState& ps = pairs_[static_cast<std::size_t>(src_leaf) * num_leaves_ + dst_leaf];
+  const auto n = topo_.paths_between_leaves(src_leaf, dst_leaf).size();
+  if (ps.paths.size() < n) ps.paths.resize(n);
+  return ps;
+}
+
+PathState& HermesLb::path_state(int src_leaf, int dst_leaf, int local_index) {
+  return pair(src_leaf, dst_leaf).paths[local_index];
+}
+
+PathType HermesLb::path_type(int src_leaf, int dst_leaf, int local_index) {
+  return pair(src_leaf, dst_leaf).paths[local_index].characterize(config_);
+}
+
+bool HermesLb::blackholed(std::int32_t src_host, std::int32_t dst_host, int local_index) const {
+  const int a = topo_.leaf_of(src_host);
+  const int b = topo_.leaf_of(dst_host);
+  const PairState& ps = pairs_[static_cast<std::size_t>(a) * num_leaves_ + b];
+  return ps.blackholed.contains(hole_key(src_host, dst_host, local_index));
+}
+
+int HermesLb::sampled_paths(int src_leaf, int dst_leaf) {
+  PairState& ps = pair(src_leaf, dst_leaf);
+  int n = 0;
+  for (const auto& p : ps.paths)
+    if (p.has_sample()) ++n;
+  return n;
+}
+
+bool HermesLb::failed_for_flow(PairState& ps, const lb::FlowCtx& flow, int local_idx) {
+  if (ps.paths[local_idx].failed_active(simulator_.now(), config_)) return true;
+  return ps.blackholed.contains(hole_key(flow.src, flow.dst, local_idx));
+}
+
+int HermesLb::pick_fresh(PairState& ps, const std::vector<net::FabricPath>& paths,
+                         const lb::FlowCtx& flow) {
+  const sim::SimTime now = simulator_.now();
+  // Lines 4-6: good paths, least local sending rate r_p first.
+  // Lines 8-10: otherwise gray paths the same way. Near-equal rates are
+  // tie-broken randomly so concurrent senders do not herd onto one path.
+  for (PathType wanted : {PathType::kGood, PathType::kGray}) {
+    const int best = least_rate_path(ps, paths, flow, wanted, -1, nullptr);
+    if (best >= 0) return best;
+  }
+  // Line 12: a random path with no failure.
+  std::vector<int> alive;
+  alive.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    if (!failed_for_flow(ps, flow, static_cast<int>(i))) alive.push_back(static_cast<int>(i));
+  if (!alive.empty()) return alive[rng_.next(alive.size())];
+  // Everything looks failed; we must still transmit somewhere.
+  return static_cast<int>(rng_.next(paths.size()));
+}
+
+int HermesLb::pick_notably_better(PairState& ps, const std::vector<net::FabricPath>& paths,
+                                  int cur_local, const lb::FlowCtx& flow) {
+  const PathState& cur = ps.paths[cur_local];
+  const std::function<bool(const PathState&)> notably_better = [&](const PathState& cand) {
+    if (!cand.has_sample()) return false;
+    if (cur.rtt() - cand.rtt() <= config_.delta_rtt) return false;
+    if (config_.use_ecn && cur.ecn_fraction() - cand.ecn_fraction() <= config_.delta_ecn)
+      return false;
+    return true;
+  };
+  // Lines 15-21: good paths notably better than the current one, then gray.
+  for (PathType wanted : {PathType::kGood, PathType::kGray}) {
+    const int best = least_rate_path(ps, paths, flow, wanted, cur_local, &notably_better);
+    if (best >= 0) return best;
+  }
+  return -1;  // line 23: do not reroute
+}
+
+int HermesLb::least_rate_path(PairState& ps, const std::vector<net::FabricPath>& paths,
+                              const lb::FlowCtx& flow, PathType wanted, int exclude_local,
+                              const std::function<bool(const PathState&)>* extra_filter) {
+  const sim::SimTime now = simulator_.now();
+  int best = -1;
+  double best_rate = std::numeric_limits<double>::max();
+  int ties = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const int li = static_cast<int>(i);
+    if (li == exclude_local || failed_for_flow(ps, flow, li)) continue;
+    if (ps.paths[i].characterize(config_) != wanted) continue;
+    if (extra_filter && !(*extra_filter)(ps.paths[i])) continue;
+    const double r = ps.paths[i].rate_bps(now);
+    // Rates within 1% (or both idle) count as tied; reservoir-sample.
+    if (best >= 0 && r <= best_rate * 1.01 + 1.0 && best_rate <= r * 1.01 + 1.0) {
+      ++ties;
+      if (rng_.next(static_cast<std::uint64_t>(ties)) == 0) best = li;
+      if (r < best_rate) best_rate = r;
+    } else if (r < best_rate) {
+      best_rate = r;
+      best = li;
+      ties = 1;
+    }
+  }
+  return best;
+}
+
+int HermesLb::select_path(lb::FlowCtx& flow, const net::Packet& pkt) {
+  if (flow.intra_rack()) return -1;
+  const auto& paths = topo_.paths_between_leaves(flow.src_leaf, flow.dst_leaf);
+  PairState& ps = pair(flow.src_leaf, flow.dst_leaf);
+  const sim::SimTime now = simulator_.now();
+
+  const int cur_local = flow.current_path >= 0 ? topo_.path(flow.current_path).local_index : -1;
+  int chosen = cur_local;
+
+  const bool fresh = !flow.has_sent || flow.timeout_pending ||
+                     (cur_local >= 0 && failed_for_flow(ps, flow, cur_local));
+  if (fresh) {
+    // Algorithm 2 line 3: new flow, flow with a timeout, or failed path.
+    flow.timeout_pending = false;
+    chosen = pick_fresh(ps, paths, flow);
+  } else if (cur_local >= 0 && config_.rerouting_enabled &&
+             ps.paths[cur_local].characterize(config_) == PathType::kCongested) {
+    // Line 14: cautious gates — only flows that sent enough and are not
+    // already fast benefit from rerouting; and a flow that just moved is
+    // given time to observe its new path before moving again.
+    const double rate_limit = config_.rate_threshold_frac * topo_.config().host_rate_bps;
+    const bool cooled_down = !flow.has_rerouted || now - flow.last_reroute >= config_.reroute_min_gap;
+    if (cooled_down && flow.bytes_sent > config_.sent_threshold_bytes &&
+        flow.rate_bps(now) < rate_limit) {
+      const int better = pick_notably_better(ps, paths, cur_local, flow);
+      if (better >= 0) {
+        chosen = better;
+        flow.last_reroute = now;
+        flow.has_rerouted = true;
+      }
+    }
+  }
+
+  if (chosen < 0) chosen = static_cast<int>(rng_.next(paths.size()));
+  ps.paths[chosen].add_send(pkt.size, now, config_);
+  return paths[chosen].id;
+}
+
+void HermesLb::on_ack(lb::FlowCtx& flow, const net::Packet& ack) {
+  if (flow.intra_rack() || ack.path_id < 0) return;
+  const net::FabricPath& p = topo_.path(ack.path_id);
+  PairState& ps = pair(p.src_leaf, p.dst_leaf);
+  PathState& st = ps.paths[p.local_index];
+  if (ack.ts_echo > sim::SimTime::zero()) {
+    st.add_sample(simulator_.now() - ack.ts_echo, ack.ece, config_);
+  }
+  // ACK progress on this (pair, path): not a blackhole; reset the count.
+  if (config_.failure_sensing) {
+    const auto key = hole_key(flow.src, flow.dst, p.local_index);
+    auto it = ps.hole_track.find(key);
+    if (it != ps.hole_track.end()) {
+      it->second.acked = true;
+      it->second.timeouts = 0;
+    }
+  }
+}
+
+void HermesLb::on_timeout(lb::FlowCtx& flow) {
+  if (!config_.failure_sensing || flow.intra_rack() || flow.current_path < 0) return;
+  // Blackhole detection (§3.1.2): Hermes monitors flow timeouts per
+  // (source-destination pair, path). Once `blackhole_timeouts` timeouts
+  // accrue with no packet of that pair ever ACKed on that path, the path
+  // deterministically drops this pair's packets.
+  const int li = topo_.path(flow.current_path).local_index;
+  PairState& ps = pair(flow.src_leaf, flow.dst_leaf);
+  // Only timeouts with zero ACK progress in this visit are evidence of a
+  // hole; a timeout after progress is congestion.
+  if (flow.acked_on_path > 0) return;
+  HoleTrack& track = ps.hole_track[hole_key(flow.src, flow.dst, li)];
+  track.acked = false;
+  if (++track.timeouts >= config_.blackhole_timeouts && !track.acked) {
+    ps.blackholed.insert(hole_key(flow.src, flow.dst, li));
+  }
+}
+
+void HermesLb::on_retransmit(lb::FlowCtx& flow, int path_id) {
+  if (flow.intra_rack() || path_id < 0) return;
+  const net::FabricPath& p = topo_.path(path_id);
+  path_state(p.src_leaf, p.dst_leaf, p.local_index).add_retransmit(simulator_.now(), config_);
+}
+
+void HermesLb::enable_probing(std::function<void(int, net::Packet)> raw_send) {
+  raw_send_ = std::move(raw_send);
+  if (!config_.probing_enabled) return;
+  simulator_.after(config_.probe_interval, [this] { probe_tick(); });
+}
+
+void HermesLb::probe_tick() {
+  // Power-of-two-choices probing (§3.1.3): per rack pair and interval,
+  // probe two random paths plus the previously observed best path.
+  for (int a = 0; a < num_leaves_; ++a) {
+    for (int b = 0; b < num_leaves_; ++b) {
+      if (a == b) continue;
+      const auto& paths = topo_.paths_between_leaves(a, b);
+      PairState& ps = pair(a, b);
+      const std::size_t n = paths.size();
+      const int r1 = static_cast<int>(rng_.next(n));
+      int r2 = static_cast<int>(rng_.next(n));
+      if (n > 1 && r2 == r1) r2 = static_cast<int>((r2 + 1) % n);
+      send_probe(a, b, r1);
+      if (r2 != r1) send_probe(a, b, r2);
+      if (ps.best_idx >= 0 && ps.best_idx != r1 && ps.best_idx != r2 &&
+          ps.best_idx < static_cast<int>(n)) {
+        send_probe(a, b, ps.best_idx);
+      }
+    }
+  }
+  simulator_.after(config_.probe_interval, [this] { probe_tick(); });
+}
+
+void HermesLb::send_probe(int src_leaf, int dst_leaf, int local_idx) {
+  const auto& paths = topo_.paths_between_leaves(src_leaf, dst_leaf);
+  const int agent_src = topo_.first_host_of_leaf(src_leaf);
+  const int agent_dst = topo_.first_host_of_leaf(dst_leaf);
+
+  net::Packet p;
+  p.id = 0xF0000000ULL + next_probe_id_;
+  p.probe_id = next_probe_id_++;
+  p.type = net::PacketType::kProbe;
+  p.src = agent_src;
+  p.dst = agent_dst;
+  p.size = net::kProbeBytes;
+  p.ect = true;  // probes must be markable to observe ECN state
+  p.ts_sent = simulator_.now();
+  p.path_id = paths[local_idx].id;
+  p.priority = 0;  // ride the data queue so the probe *sees* congestion
+  p.route = topo_.forward_route(agent_src, agent_dst, p.path_id);
+
+  ++probe_stats_.probes_sent;
+  probe_stats_.probe_bytes += p.size;
+  raw_send_(agent_src, std::move(p));
+}
+
+void HermesLb::on_probe_reply(const net::Packet& reply) {
+  if (reply.path_id < 0) return;
+  ++probe_stats_.replies_received;
+  const net::FabricPath& p = topo_.path(reply.path_id);
+  PairState& ps = pair(p.src_leaf, p.dst_leaf);
+  PathState& st = ps.paths[p.local_index];
+  st.add_sample(simulator_.now() - reply.ts_echo, reply.ece, config_);
+
+  // Track the best observed path for the extra "memory" probe.
+  if (ps.best_idx < 0 || ps.best_idx >= static_cast<int>(ps.paths.size()) ||
+      !ps.paths[ps.best_idx].has_sample() ||
+      st.rtt() < ps.paths[ps.best_idx].rtt()) {
+    ps.best_idx = p.local_index;
+  }
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/time.hpp"
+
+namespace hermes::core {
+
+/// Hermes parameters (Table 4) with the paper's recommended settings
+/// (§3.3). `defaults_for(topology)` derives the RTT thresholds from the
+/// fabric's base RTT and one-hop delay exactly as the paper prescribes:
+///   T_RTT_low  = base RTT + 20..40us          (default +30us)
+///   T_RTT_high = base RTT + 1.5 x one-hop delay
+///   Delta_RTT  = one-hop delay
+/// where one-hop delay = ECN marking threshold / link capacity.
+struct HermesConfig {
+  // Congestion sensing thresholds.
+  double t_ecn = 0.40;                   ///< ECN fraction of a congested path
+  sim::SimTime t_rtt_low{};              ///< below: lightly loaded
+  sim::SimTime t_rtt_high{};             ///< above (with ECN): congested
+  // "Notably better" margins for cautious rerouting.
+  sim::SimTime delta_rtt{};
+  double delta_ecn = 0.05;
+  // Flow-status gates for cautious rerouting.
+  double rate_threshold_frac = 0.30;     ///< R, fraction of host link rate
+  std::uint64_t sent_threshold_bytes = 600 * 1024;  ///< S
+
+  // Active probing.
+  sim::SimTime probe_interval = sim::usec(500);
+
+  // Failure sensing.
+  std::uint32_t blackhole_timeouts = 3;  ///< timeouts w/o any ACK => blackhole
+  double retx_threshold = 0.01;          ///< f_retransmission limit
+  sim::SimTime retx_epoch = sim::msec(10);  ///< tau
+  /// A random-drop latch expires after this long and must be re-confirmed
+  /// by fresh evidence. A truly failing switch re-latches within one tau;
+  /// a congestion-burst false positive self-heals. 0 = latch forever.
+  sim::SimTime failure_expiry = sim::msec(100);
+
+  /// Minimum spacing between congestion-triggered reroutes of one flow.
+  /// Guards against path bouncing when the congestion a flow senses is
+  /// actually at its destination host (every alternative looks "notably
+  /// better" through rack-level probe state but is not). Failure- and
+  /// timeout-triggered switches are never delayed.
+  sim::SimTime reroute_min_gap = sim::msec(2);
+
+  // Signal smoothing.
+  double rtt_ewma_gain = 0.5;
+  double ecn_ewma_gain = 1.0 / 16.0;
+
+  // Feature toggles (ablations of Fig. 18; §5.4 TCP mode).
+  bool probing_enabled = true;
+  bool rerouting_enabled = true;   ///< reroute ongoing flows on congestion
+  bool failure_sensing = true;
+  bool use_ecn = true;             ///< false: sense with RTT only (plain TCP)
+
+  /// Recommended settings for a concrete fabric.
+  [[nodiscard]] static HermesConfig defaults_for(const net::Topology& topo) {
+    HermesConfig c;
+    const auto base = topo.base_rtt();
+    const auto hop = topo.one_hop_delay();
+    c.t_rtt_low = base + sim::usec(30);
+    c.t_rtt_high = base + sim::SimTime::nanoseconds(hop.ns() * 3 / 2);
+    c.delta_rtt = hop;
+    return c;
+  }
+};
+
+}  // namespace hermes::core

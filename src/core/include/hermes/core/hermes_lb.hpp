@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hermes/core/config.hpp"
+#include "hermes/core/path_state.hpp"
+#include "hermes/lb/load_balancer.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/rng.hpp"
+#include "hermes/sim/simulator.hpp"
+
+namespace hermes::core {
+
+/// Counters for the probing/visibility analysis (Table 6).
+struct ProbeStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t probe_bytes = 0;
+};
+
+/// Hermes: comprehensive sensing + timely yet cautious rerouting (§3).
+///
+/// State is kept per ordered rack pair, matching the paper's deployment
+/// model where one hypervisor per rack acts as the probe agent and shares
+/// path information with every hypervisor under the same rack (§3.1.3).
+/// Data-plane signals (ACK RTT/ECN, timeouts, retransmissions) and probe
+/// replies feed the same per-pair PathState tables.
+///
+/// Blackholes are detected per (source host, destination host) pair
+/// (§3.1.2), because a blackhole deterministically drops only packets
+/// matching certain header patterns; silent random drops are detected per
+/// path via the retransmission-rate epoch detector in PathState.
+class HermesLb final : public lb::LoadBalancer {
+ public:
+  HermesLb(sim::Simulator& simulator, net::Topology& topo, HermesConfig config);
+
+  // --- lb::LoadBalancer -------------------------------------------------
+  int select_path(lb::FlowCtx& flow, const net::Packet& pkt) override;
+  void on_ack(lb::FlowCtx& flow, const net::Packet& ack) override;
+  void on_timeout(lb::FlowCtx& flow) override;
+  void on_retransmit(lb::FlowCtx& flow, int path_id) override;
+  [[nodiscard]] std::string_view name() const override { return "hermes"; }
+
+  // --- probing ----------------------------------------------------------
+  /// Turn on active probing. `raw_send(src_host, packet)` must transmit
+  /// the packet from that host's NIC; the harness wires it to the rack
+  /// agents' HostStacks. Probing runs every config.probe_interval.
+  void enable_probing(std::function<void(int src_host, net::Packet)> raw_send);
+  /// Deliver a probe reply arriving at a rack agent.
+  void on_probe_reply(const net::Packet& reply);
+  [[nodiscard]] const ProbeStats& probe_stats() const { return probe_stats_; }
+
+  // --- introspection (tests, traces, benches) ---------------------------
+  [[nodiscard]] const HermesConfig& config() const { return config_; }
+  [[nodiscard]] PathState& path_state(int src_leaf, int dst_leaf, int local_index);
+  [[nodiscard]] PathType path_type(int src_leaf, int dst_leaf, int local_index);
+  [[nodiscard]] bool blackholed(std::int32_t src_host, std::int32_t dst_host,
+                                int local_index) const;
+  /// Number of distinct paths with at least one sample for a rack pair
+  /// (the "visibility" a sender has, Table 6).
+  [[nodiscard]] int sampled_paths(int src_leaf, int dst_leaf);
+
+ private:
+  struct HoleTrack {
+    std::uint32_t timeouts = 0;
+    bool acked = false;
+  };
+  struct PairState {
+    std::vector<PathState> paths;
+    int best_idx = -1;  ///< previously observed best path (probed extra)
+    std::unordered_set<std::uint64_t> blackholed;  ///< (src,dst,path) keys
+    /// Timeout/ACK bookkeeping per (src,dst,path) feeding the blackhole
+    /// detector (Table 3's per-path n_timeout, kept per host pair since a
+    /// blackhole matches specific header patterns). Aggregated across
+    /// flows: one flow reroutes away after a single timeout, but the
+    /// pair's traffic keeps revisiting the path and the count accrues.
+    std::unordered_map<std::uint64_t, HoleTrack> hole_track;
+  };
+
+  [[nodiscard]] static std::uint64_t hole_key(std::int32_t src, std::int32_t dst, int idx) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 16) |
+           static_cast<std::uint32_t>(idx);
+  }
+
+  PairState& pair(int src_leaf, int dst_leaf);
+  /// Algorithm 2 lines 3-12: initial placement / failure escape.
+  int pick_fresh(PairState& ps, const std::vector<net::FabricPath>& paths,
+                 const lb::FlowCtx& flow);
+  /// Algorithm 2 lines 14-23: cautious reroute off a congested path.
+  int pick_notably_better(PairState& ps, const std::vector<net::FabricPath>& paths,
+                          int cur_local, const lb::FlowCtx& flow);
+  /// Argmin r_p over paths of type `wanted` (random among near-ties).
+  int least_rate_path(PairState& ps, const std::vector<net::FabricPath>& paths,
+                      const lb::FlowCtx& flow, PathType wanted, int exclude_local,
+                      const std::function<bool(const PathState&)>* extra_filter);
+  [[nodiscard]] bool failed_for_flow(PairState& ps, const lb::FlowCtx& flow, int local_idx);
+  void probe_tick();
+  void send_probe(int src_leaf, int dst_leaf, int local_idx);
+
+  sim::Simulator& simulator_;
+  net::Topology& topo_;
+  HermesConfig config_;
+  sim::Rng rng_;
+  int num_leaves_;
+  std::vector<PairState> pairs_;
+
+  std::function<void(int, net::Packet)> raw_send_;
+  ProbeStats probe_stats_;
+  std::uint64_t next_probe_id_ = 1;
+};
+
+}  // namespace hermes::core

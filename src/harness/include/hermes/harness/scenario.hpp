@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hermes/core/hermes_lb.hpp"
+#include "hermes/lb/clove.hpp"
+#include "hermes/lb/conga.hpp"
+#include "hermes/lb/drill.hpp"
+#include "hermes/lb/flowbender.hpp"
+#include "hermes/lb/letflow.hpp"
+#include "hermes/lb/load_balancer.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/simulator.hpp"
+#include "hermes/stats/fct.hpp"
+#include "hermes/transport/host_stack.hpp"
+#include "hermes/transport/tcp_config.hpp"
+
+namespace hermes::harness {
+
+/// The load balancing schemes the paper evaluates (§5.1), plus the two
+/// extra baselines of Table 1 (FlowBender was implemented but its results
+/// omitted by the paper; DRILL was related work).
+enum class Scheme {
+  kEcmp,
+  kDrb,
+  kPrestoStar,  ///< per-packet spray + reordering buffer, weighted if asym.
+  kLetFlow,
+  kConga,
+  kCloveEcn,
+  kHermes,
+  kFlowBender,
+  kDrill,
+  kWcmp,
+};
+
+[[nodiscard]] const char* to_string(Scheme s);
+
+/// Everything needed to run one experiment: fabric, scheme, transport.
+struct ScenarioConfig {
+  net::TopologyConfig topo;
+  Scheme scheme = Scheme::kEcmp;
+  transport::TcpConfig tcp;
+
+  // Scheme parameters; zero-valued Hermes RTT thresholds are derived from
+  // the topology via HermesConfig::defaults_for.
+  core::HermesConfig hermes;
+  lb::CongaConfig conga;
+  lb::CloveConfig clove;
+  lb::LetFlowConfig letflow;
+  lb::FlowBenderConfig flowbender;
+  lb::DrillConfig drill;
+  bool presto_weighted = true;
+  /// 0 = spray per packet (the paper's Presto*); 64KB reproduces the
+  /// original Presto flowcell granularity (used by Examples 2/3).
+  std::uint32_t presto_cell_bytes = 0;
+
+  std::uint64_t seed = 1;
+  /// Wall guard: absolute simulated-time cap. Flows still running when it
+  /// is reached are reported as unfinished (blackholed ECMP flows never
+  /// finish; the cap is what ends them).
+  sim::SimTime max_sim_time = sim::sec(10);
+
+  /// Optional decorator wrapped around the built balancer — used by the
+  /// microbenchmarks to pin initial placements, and by applications to
+  /// substitute entirely custom schemes (see examples/custom_scheme.cpp).
+  /// Receives the simulator, the built topology, and the scheme built
+  /// from `scheme`; returns the balancer the fabric will actually use.
+  std::function<std::unique_ptr<lb::LoadBalancer>(
+      sim::Simulator&, net::Topology&, std::unique_ptr<lb::LoadBalancer>)>
+      wrap_balancer;
+};
+
+/// Builds a fabric + per-host transport stacks + the selected load
+/// balancer, runs flow workloads, and collects FCT results. This is the
+/// per-experiment composition root used by examples, tests and benches.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+  [[nodiscard]] net::Topology& topology() { return *topo_; }
+  [[nodiscard]] lb::LoadBalancer& balancer() { return *lb_; }
+  [[nodiscard]] transport::HostStack& stack(int host_id) { return *stacks_[host_id]; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  /// Non-null only when the scheme is Hermes.
+  [[nodiscard]] core::HermesLb* hermes() { return hermes_; }
+
+  /// Schedule a list of flows (e.g. from workload::generate_poisson_traffic).
+  void add_flows(const std::vector<transport::FlowSpec>& flows);
+  /// Schedule a single flow; returns its id.
+  std::uint64_t add_flow(std::int32_t src, std::int32_t dst, std::uint64_t size,
+                         sim::SimTime start);
+
+  /// Run until every scheduled flow finishes or max_sim_time is reached;
+  /// returns FCT statistics (unfinished flows included as such).
+  stats::FctCollector run();
+  /// Run for a fixed simulated duration (microbenchmarks / traces).
+  void run_for(sim::SimTime duration);
+
+  /// Flows currently in flight (visibility sampling, Table 2).
+  [[nodiscard]] const std::unordered_map<std::uint64_t, transport::FlowSpec>& active_flows()
+      const {
+    return active_;
+  }
+  [[nodiscard]] std::uint64_t next_flow_id() { return next_flow_id_++; }
+
+ private:
+  void build_balancer();
+
+  ScenarioConfig config_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<lb::LoadBalancer> lb_;
+  core::HermesLb* hermes_ = nullptr;  // owned by lb_
+  std::vector<std::unique_ptr<transport::HostStack>> stacks_;
+
+  stats::FctCollector collector_;
+  std::unordered_map<std::uint64_t, transport::FlowSpec> active_;
+  std::size_t pending_ = 0;
+  std::uint64_t next_flow_id_ = 1'000'000;  // manual flows; workloads use small ids
+};
+
+}  // namespace hermes::harness

@@ -1,0 +1,173 @@
+#include "hermes/harness/scenario.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "hermes/lb/ecmp.hpp"
+#include "hermes/lb/spray.hpp"
+#include "hermes/lb/wcmp.hpp"
+
+namespace hermes::harness {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kEcmp: return "ECMP";
+    case Scheme::kDrb: return "DRB";
+    case Scheme::kPrestoStar: return "Presto*";
+    case Scheme::kLetFlow: return "LetFlow";
+    case Scheme::kConga: return "CONGA";
+    case Scheme::kCloveEcn: return "CLOVE-ECN";
+    case Scheme::kHermes: return "Hermes";
+    case Scheme::kFlowBender: return "FlowBender";
+    case Scheme::kDrill: return "DRILL";
+    case Scheme::kWcmp: return "WCMP";
+  }
+  return "?";
+}
+
+Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
+  // Plain-TCP mode (§5.4): no ECN marking; switches drop at the buffer.
+  if (!config_.tcp.dctcp) config_.topo.ecn_enabled = false;
+  // Spraying schemes are evaluated with the reordering mask, as the paper
+  // does for Presto* ("we implement a reordering buffer to mask packet
+  // reordering", §5.1).
+  if (config_.scheme == Scheme::kPrestoStar || config_.scheme == Scheme::kDrb ||
+      config_.scheme == Scheme::kDrill) {
+    config_.tcp.reorder_buffer = true;
+  }
+
+  simulator_ = std::make_unique<sim::Simulator>(config_.seed);
+  topo_ = std::make_unique<net::Topology>(*simulator_, config_.topo);
+  build_balancer();
+  if (config_.wrap_balancer) {
+    lb_ = config_.wrap_balancer(*simulator_, *topo_, std::move(lb_));
+  }
+
+  // In-band congestion stamping costs a DRE read per fabric hop; only
+  // CONGA consumes it.
+  if (config_.scheme != Scheme::kConga) {
+    for (int l = 0; l < config_.topo.num_leaves; ++l) topo_->leaf(l).conga_stamping = false;
+    for (int s = 0; s < config_.topo.num_spines; ++s) topo_->spine(s).conga_stamping = false;
+  }
+
+  stacks_.reserve(static_cast<std::size_t>(topo_->num_hosts()));
+  for (int h = 0; h < topo_->num_hosts(); ++h) {
+    stacks_.push_back(std::make_unique<transport::HostStack>(*simulator_, *topo_, h, *lb_,
+                                                             config_.tcp));
+  }
+
+  if (hermes_) {
+    hermes_->enable_probing(
+        [this](int src_host, net::Packet p) { stacks_[src_host]->send_raw(std::move(p)); });
+    for (int l = 0; l < config_.topo.num_leaves; ++l) {
+      const int agent = topo_->first_host_of_leaf(l);
+      stacks_[agent]->on_probe_reply = [this](const net::Packet& p) {
+        hermes_->on_probe_reply(p);
+      };
+    }
+  }
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build_balancer() {
+  switch (config_.scheme) {
+    case Scheme::kEcmp:
+      lb_ = std::make_unique<lb::EcmpLb>(*topo_, config_.seed);
+      break;
+    case Scheme::kDrb:
+      lb_ = std::make_unique<lb::SprayLb>(
+          *topo_, lb::SprayConfig{.cell_bytes = 0, .weighted = false}, "drb");
+      break;
+    case Scheme::kPrestoStar:
+      lb_ = std::make_unique<lb::SprayLb>(
+          *topo_,
+          lb::SprayConfig{.cell_bytes = config_.presto_cell_bytes,
+                          .weighted = config_.presto_weighted},
+          "presto*");
+      break;
+    case Scheme::kLetFlow:
+      lb_ = std::make_unique<lb::LetFlowLb>(*simulator_, *topo_, config_.letflow);
+      break;
+    case Scheme::kConga:
+      lb_ = std::make_unique<lb::CongaLb>(*simulator_, *topo_, config_.conga);
+      break;
+    case Scheme::kCloveEcn:
+      lb_ = std::make_unique<lb::CloveLb>(*simulator_, *topo_, config_.clove);
+      break;
+    case Scheme::kWcmp:
+      lb_ = std::make_unique<lb::WcmpLb>(*topo_, config_.seed);
+      break;
+    case Scheme::kFlowBender:
+      lb_ = std::make_unique<lb::FlowBenderLb>(*simulator_, *topo_, config_.flowbender);
+      break;
+    case Scheme::kDrill:
+      lb_ = std::make_unique<lb::DrillLb>(*simulator_, *topo_, config_.drill);
+      break;
+    case Scheme::kHermes: {
+      core::HermesConfig hc = config_.hermes;
+      if (hc.t_rtt_low == sim::SimTime::zero() || hc.t_rtt_high == sim::SimTime::zero() ||
+          hc.delta_rtt == sim::SimTime::zero()) {
+        const auto defaults = core::HermesConfig::defaults_for(*topo_);
+        if (hc.t_rtt_low == sim::SimTime::zero()) hc.t_rtt_low = defaults.t_rtt_low;
+        if (hc.t_rtt_high == sim::SimTime::zero()) hc.t_rtt_high = defaults.t_rtt_high;
+        if (hc.delta_rtt == sim::SimTime::zero()) hc.delta_rtt = defaults.delta_rtt;
+      }
+      auto h = std::make_unique<core::HermesLb>(*simulator_, *topo_, hc);
+      hermes_ = h.get();
+      lb_ = std::move(h);
+      break;
+    }
+  }
+}
+
+void Scenario::add_flows(const std::vector<transport::FlowSpec>& flows) {
+  for (const auto& f : flows) {
+    ++pending_;
+    simulator_->at(f.start, [this, f] {
+      active_.emplace(f.id, f);
+      stacks_[f.src]->start_flow(f, [this, id = f.id](const transport::FlowRecord& r) {
+        collector_.add(r);
+        active_.erase(id);
+        if (--pending_ == 0) simulator_->stop();
+      });
+    });
+  }
+}
+
+std::uint64_t Scenario::add_flow(std::int32_t src, std::int32_t dst, std::uint64_t size,
+                                 sim::SimTime start) {
+  transport::FlowSpec f;
+  f.id = next_flow_id();
+  f.src = src;
+  f.dst = dst;
+  f.size = size;
+  f.start = start;
+  add_flows({f});
+  return f.id;
+}
+
+stats::FctCollector Scenario::run() {
+  simulator_->run_until(config_.max_sim_time);
+  // Whatever is still active never finished within the time cap; pull the
+  // live sender counters so unfinished records still carry timeout and
+  // retransmission statistics.
+  for (const auto& [id, spec] : active_) {
+    if (transport::TcpSender* snd = stacks_[spec.src]->sender(id)) {
+      transport::FlowRecord r = snd->record();
+      r.finished = false;
+      r.end = simulator_->now();
+      collector_.add(r);
+    } else {
+      collector_.add_unfinished(spec.size, spec.start, simulator_->now());
+    }
+  }
+  // Flows scheduled but never started also count as unfinished.
+  return std::move(collector_);
+}
+
+void Scenario::run_for(sim::SimTime duration) {
+  simulator_->run_until(simulator_->now() + duration);
+}
+
+}  // namespace hermes::harness

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hermes/net/dre.hpp"
+#include "hermes/sim/time.hpp"
+
+namespace hermes::lb {
+
+/// Per-flow state shared between the transport and the load balancer.
+/// The transport owns it; every scheme reads/updates the fields it needs
+/// (flowlet gap, current path, sent bytes, rate estimate, timeout flag).
+struct FlowCtx {
+  std::uint64_t flow_id = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  int src_leaf = -1;
+  int dst_leaf = -1;
+
+  std::uint64_t bytes_sent = 0;    ///< cumulative payload handed to the wire
+  int current_path = -1;           ///< fabric path of the last transmission
+  sim::SimTime last_send{};        ///< time of the last transmission
+  bool has_sent = false;           ///< false until the first packet
+  bool timeout_pending = false;    ///< set on RTO, cleared once acted upon
+  std::uint32_t reroutes = 0;      ///< times the path changed mid-flow
+
+  /// Per-current-path accounting used by Hermes's blackhole detector
+  /// (§3.1.2): consecutive timeouts seen on the current path, and whether
+  /// any ACK progress happened on it. Reset on every path change; the
+  /// timeout counter also resets when an ACK arrives.
+  std::uint64_t acked_on_path = 0;
+  std::uint32_t timeouts_on_path = 0;
+
+  /// Time of the last congestion-triggered reroute (Hermes cooldown).
+  sim::SimTime last_reroute{};
+  bool has_rerouted = false;
+
+  net::Dre rate_dre{sim::usec(100), 0.2};  ///< flow sending rate r_f
+
+  [[nodiscard]] bool intra_rack() const { return src_leaf == dst_leaf; }
+  [[nodiscard]] double rate_bps(sim::SimTime now) const { return rate_dre.rate_bps(now); }
+};
+
+/// 64-bit mix used wherever a stable hash of an id is needed (ECMP,
+/// blackhole predicates, seed derivation).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace hermes::lb

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "hermes/lb/load_balancer.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/rng.hpp"
+#include "hermes/sim/simulator.hpp"
+
+namespace hermes::lb {
+
+/// LetFlow (Vanini et al., NSDI'17): flowlet switching with *random* path
+/// choice. A new flowlet starts whenever the flow has been idle longer
+/// than the flowlet timeout; flowlet sizes then adapt implicitly to path
+/// quality. Congestion-oblivious but failure-tolerant "by accident":
+/// drops create gaps, gaps create flowlets, flowlets sometimes escape.
+struct LetFlowConfig {
+  sim::SimTime flowlet_timeout = sim::usec(150);
+};
+
+class LetFlowLb final : public LoadBalancer {
+ public:
+  LetFlowLb(sim::Simulator& simulator, net::Topology& topo, LetFlowConfig config = {})
+      : simulator_{simulator},
+        topo_{topo},
+        config_{config},
+        rng_{simulator.rng_stream(0x1E7F10F)} {}
+
+  int select_path(FlowCtx& flow, const net::Packet&) override {
+    if (flow.intra_rack()) return -1;
+    const sim::SimTime now = simulator_.now();
+    const bool new_flowlet =
+        !flow.has_sent || (now - flow.last_send) > config_.flowlet_timeout;
+    if (new_flowlet || flow.current_path < 0) {
+      const auto& paths = topo_.paths_between_leaves(flow.src_leaf, flow.dst_leaf);
+      return paths[rng_.next(paths.size())].id;
+    }
+    return flow.current_path;
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "letflow"; }
+
+ private:
+  sim::Simulator& simulator_;
+  net::Topology& topo_;
+  LetFlowConfig config_;
+  sim::Rng rng_;
+};
+
+}  // namespace hermes::lb

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hermes::net {
+
+/// Admission control for ports that share one buffer (real ToR ASICs
+/// share a few MB across all ports instead of static per-port carving).
+class BufferPool {
+ public:
+  virtual ~BufferPool() = default;
+  /// May a packet of `bytes` join a queue currently holding
+  /// `port_backlog` bytes? On true, the bytes are charged to the pool.
+  virtual bool try_admit(std::uint32_t bytes, std::uint32_t port_backlog) = 0;
+  /// Return bytes to the pool when the packet leaves the queue.
+  virtual void release(std::uint32_t bytes) = 0;
+};
+
+/// The Dynamic Threshold algorithm (Choudhury & Hahne), used by
+/// Broadcom-style shared-memory switches: a port may buffer at most
+/// alpha times the *remaining free* pool, so idle ports leave room and a
+/// single congested port can absorb far more than a static 1/N carving
+/// — exactly what incast needs.
+class DynamicThresholdPool final : public BufferPool {
+ public:
+  DynamicThresholdPool(std::uint64_t total_bytes, double alpha)
+      : total_{total_bytes}, alpha_{alpha} {}
+
+  bool try_admit(std::uint32_t bytes, std::uint32_t port_backlog) override {
+    const std::uint64_t free_bytes = total_ > used_ ? total_ - used_ : 0;
+    const double limit = alpha_ * static_cast<double>(free_bytes);
+    if (static_cast<double>(port_backlog) + bytes > limit) return false;
+    if (used_ + bytes > total_) return false;
+    used_ += bytes;
+    return true;
+  }
+
+  void release(std::uint32_t bytes) override { used_ = used_ >= bytes ? used_ - bytes : 0; }
+
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  std::uint64_t total_;
+  double alpha_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace hermes::net

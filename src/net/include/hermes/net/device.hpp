@@ -1,0 +1,15 @@
+#pragma once
+
+#include "hermes/net/packet.hpp"
+
+namespace hermes::net {
+
+/// Anything that can receive a packet from a link: switches and hosts.
+class Device {
+ public:
+  virtual ~Device() = default;
+  /// Deliver `p` arriving on local port `in_port`.
+  virtual void receive(Packet p, int in_port) = 0;
+};
+
+}  // namespace hermes::net

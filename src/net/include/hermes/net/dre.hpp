@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "hermes/sim/time.hpp"
+
+namespace hermes::net {
+
+/// Discounting Rate Estimator (CONGA §4.3). A register X is incremented by
+/// the bytes of each observed packet and decays multiplicatively with time
+/// constant Tdre/alpha. The estimated rate is X * alpha / Tdre. We decay
+/// lazily on access instead of running a periodic timer per estimator.
+class Dre {
+ public:
+  Dre() = default;
+  Dre(sim::SimTime tdre, double alpha) : tdre_{tdre}, alpha_{alpha} {}
+
+  void add(std::uint64_t bytes, sim::SimTime now) {
+    decay(now);
+    x_ += static_cast<double>(bytes);
+  }
+
+  /// Estimated rate in bytes/second.
+  [[nodiscard]] double rate_bytes_per_sec(sim::SimTime now) const {
+    decay(now);
+    return x_ * alpha_ / tdre_.to_seconds();
+  }
+  /// Estimated rate in bits/second.
+  [[nodiscard]] double rate_bps(sim::SimTime now) const { return 8.0 * rate_bytes_per_sec(now); }
+
+  /// Utilization in [0, ~1+] of a link with the given capacity.
+  [[nodiscard]] double utilization(double link_bps, sim::SimTime now) const {
+    return link_bps > 0 ? rate_bps(now) / link_bps : 0.0;
+  }
+
+  /// CONGA's 3-bit quantized congestion metric for a link of `link_bps`.
+  [[nodiscard]] std::uint8_t quantized(double link_bps, sim::SimTime now) const {
+    double u = utilization(link_bps, now);
+    if (u < 0) u = 0;
+    if (u > 1) u = 1;
+    return static_cast<std::uint8_t>(u * 7.0 + 0.5);
+  }
+
+ private:
+  void decay(sim::SimTime now) const {
+    if (now <= last_) return;
+    const double dt = (now - last_).to_seconds();
+    // Continuous-time equivalent of "every Tdre, X *= (1 - alpha)".
+    x_ *= std::exp(std::log1p(-alpha_) * dt / tdre_.to_seconds());
+    last_ = now;
+  }
+
+  sim::SimTime tdre_ = sim::usec(50);
+  double alpha_ = 0.1;
+  mutable double x_ = 0.0;
+  mutable sim::SimTime last_{};
+};
+
+}  // namespace hermes::net

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hermes/net/device.hpp"
+#include "hermes/net/packet.hpp"
+#include "hermes/net/port.hpp"
+#include "hermes/sim/simulator.hpp"
+
+namespace hermes::net {
+
+/// An end host: one NIC port toward its leaf switch, and a pluggable
+/// receive handler (the transport stack registers itself here).
+class Host : public Device {
+ public:
+  Host(sim::Simulator& simulator, int id) : simulator_{simulator}, id_{id} {}
+
+  /// Wire the NIC to the leaf switch (called by the topology builder).
+  void attach_uplink(PortConfig config, Device* leaf, int leaf_in_port) {
+    uplink_ = std::make_unique<Port>(simulator_, "host" + std::to_string(id_) + ":nic",
+                                     config, leaf, leaf_in_port);
+  }
+
+  /// Transmit a fully formed packet (route already stamped).
+  void send(Packet p) {
+    assert(uplink_ && "host has no uplink");
+    uplink_->send(std::move(p));
+  }
+
+  void receive(Packet p, int in_port) override {
+    if (on_receive) on_receive(std::move(p), in_port);
+  }
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] Port& nic() { return *uplink_; }
+  [[nodiscard]] const Port& nic() const { return *uplink_; }
+
+  /// Delivery hook installed by the end-host stack.
+  std::function<void(Packet, int)> on_receive;
+
+ private:
+  sim::Simulator& simulator_;
+  int id_;
+  std::unique_ptr<Port> uplink_;
+};
+
+}  // namespace hermes::net

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "hermes/net/buffer_pool.hpp"
+#include "hermes/net/device.hpp"
+#include "hermes/net/dre.hpp"
+#include "hermes/net/packet.hpp"
+#include "hermes/sim/rng.hpp"
+#include "hermes/sim/simulator.hpp"
+
+namespace hermes::net {
+
+/// ECN marking disciplines.
+enum class EcnMode : std::uint8_t {
+  kStep,  ///< DCTCP step marking: CE when backlog >= K
+  kRed,   ///< RED-style ramp: probability rises linearly between min and max
+};
+
+/// Configuration for an output port and its attached simplex link.
+struct PortConfig {
+  double rate_bps = 10e9;                ///< link capacity
+  sim::SimTime prop_delay = sim::usec(2); ///< one-way propagation delay
+  std::uint32_t queue_capacity_bytes = 500 * 1024;  ///< per-port buffer
+  std::uint32_t ecn_threshold_bytes = 65 * 1500;    ///< step marking point (K)
+  bool ecn_enabled = true;
+
+  /// Marking discipline. kStep is DCTCP's recommendation and the default;
+  /// kRed ramps the marking probability from 0 at `ecn_threshold_bytes`
+  /// to `red_pmax` at `red_max_bytes` (CE always set beyond that), as the
+  /// paper's testbed switches ("ECN/RED marking", §4) support.
+  EcnMode ecn_mode = EcnMode::kStep;
+  std::uint32_t red_max_bytes = 0;  ///< 0: defaults to 3x the threshold
+  double red_pmax = 1.0;
+};
+
+/// Counters exported by every port.
+struct PortStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t drop_bytes = 0;
+  std::uint64_t ecn_marks = 0;
+};
+
+/// An output port: a two-band strict-priority drop-tail queue feeding a
+/// fixed-rate link with propagation delay. ECN CE marking happens at
+/// enqueue when the backlog exceeds the threshold (DCTCP step marking).
+/// The port also maintains a DRE so CONGA can read per-link utilization.
+class Port {
+ public:
+  Port(sim::Simulator& simulator, std::string name, PortConfig config,
+       Device* peer, int peer_in_port);
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  /// Enqueue a packet for transmission (drops if the buffer is full).
+  void send(Packet p);
+
+  [[nodiscard]] std::uint32_t backlog_bytes() const { return backlog_bytes_; }
+  [[nodiscard]] std::size_t backlog_packets() const { return hi_.size() + lo_.size(); }
+  [[nodiscard]] const PortStats& stats() const { return stats_; }
+  [[nodiscard]] const PortConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// CONGA congestion metric of this link, quantized to 3 bits.
+  [[nodiscard]] std::uint8_t conga_metric() const {
+    return dre_.quantized(config_.rate_bps, simulator_.now());
+  }
+  [[nodiscard]] double utilization() const {
+    return dre_.utilization(config_.rate_bps, simulator_.now());
+  }
+
+  /// Serialization delay of `bytes` on this link.
+  [[nodiscard]] sim::SimTime tx_time(std::uint32_t bytes) const {
+    return sim::SimTime::from_seconds(static_cast<double>(bytes) * 8.0 / config_.rate_bps);
+  }
+
+  /// Optional per-packet observers (tests and TraceLog). Null by default;
+  /// the hot path pays one branch each.
+  std::function<void(const Packet&)> on_drop;
+  std::function<void(const Packet&)> on_enqueue;
+  std::function<void(const Packet&)> on_transmit;
+
+  /// Current simulation time (for observers that only hold the port).
+  [[nodiscard]] sim::SimTime now() const { return simulator_.now(); }
+
+  /// Switch to shared-buffer admission: the static per-port capacity is
+  /// replaced by the pool's (dynamic-threshold) policy. The pool must
+  /// outlive the port.
+  void set_buffer_pool(BufferPool* pool) { pool_ = pool; }
+
+  /// True for leaf-uplink and spine-downlink ports. Only fabric ports are
+  /// stamped with CONGA's in-band congestion metric.
+  bool is_fabric = false;
+
+ private:
+  void try_transmit();
+  void finish_transmit();
+  void deliver_front();
+  [[nodiscard]] bool should_mark();
+
+  sim::Simulator& simulator_;
+  std::string name_;
+  PortConfig config_;
+  Device* peer_;
+  int peer_in_port_;
+
+  std::deque<Packet> hi_;
+  std::deque<Packet> lo_;
+  std::deque<Packet> wire_;  ///< transmitted, awaiting propagation delivery
+  std::uint32_t backlog_bytes_ = 0;
+  bool busy_ = false;
+
+  Dre dre_;
+  PortStats stats_;
+  sim::Rng red_rng_;
+  BufferPool* pool_ = nullptr;
+};
+
+}  // namespace hermes::net

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "hermes/net/host.hpp"
+#include "hermes/net/packet.hpp"
+#include "hermes/net/switch.hpp"
+#include "hermes/sim/simulator.hpp"
+
+namespace hermes::net {
+
+/// One end-to-end fabric path between a leaf pair: (spine, parallel link
+/// index). The up and down parallel-link indices are paired, which matches
+/// how ECMP groups are built on 2-tier Clos fabrics.
+struct FabricPath {
+  int id = -1;
+  int src_leaf = -1;
+  int dst_leaf = -1;
+  int spine = -1;
+  int link_idx = 0;
+  int local_index = 0;      ///< position within the leaf pair's path list
+  double capacity_bps = 0;  ///< min(uplink, downlink) rate
+};
+
+/// Parameters of a (possibly asymmetric) leaf-spine fabric.
+struct TopologyConfig {
+  int num_leaves = 8;
+  int num_spines = 8;
+  int hosts_per_leaf = 16;
+  int links_per_pair = 1;  ///< parallel leaf<->spine links (testbed uses 2)
+
+  double host_rate_bps = 10e9;
+  double fabric_rate_bps = 10e9;
+  sim::SimTime link_delay = sim::usec(2);  ///< per-hop propagation, one way
+
+  /// ECN marking threshold in bytes; 0 selects a rate-scaled default
+  /// (65 packets at 10G, clamped to >= 20 packets, CONGA/DCTCP practice).
+  std::uint32_t ecn_threshold_bytes = 0;
+  /// Per-port buffer in bytes; 0 selects 6x the ECN threshold (>= 150KB).
+  std::uint32_t queue_capacity_bytes = 0;
+  bool ecn_enabled = true;
+
+  /// Non-zero: every switch (leaves and spines) shares one buffer of this
+  /// many bytes across its ports under the Dynamic Threshold policy,
+  /// like real shared-memory ToR ASICs, instead of static carving.
+  std::uint64_t shared_buffer_bytes = 0;
+  double dt_alpha = 1.0;
+
+  /// Per-link rate overrides keyed by (leaf, spine, parallel index);
+  /// applied to both directions. A rate of 0 cuts the link.
+  std::map<std::tuple<int, int, int>, double> fabric_overrides;
+
+  [[nodiscard]] std::uint32_t ecn_bytes_for(double rate_bps) const;
+  [[nodiscard]] std::uint32_t queue_bytes_for(double rate_bps) const;
+  [[nodiscard]] PortConfig port_config(double rate_bps) const;
+};
+
+/// Builds and owns the simulated fabric: hosts, leaf and spine switches,
+/// all ports, and the enumerated explicit paths (the XPath substitute).
+class Topology {
+ public:
+  Topology(sim::Simulator& simulator, TopologyConfig config);
+
+  [[nodiscard]] const TopologyConfig& config() const { return config_; }
+  [[nodiscard]] int num_hosts() const { return config_.num_leaves * config_.hosts_per_leaf; }
+  [[nodiscard]] Host& host(int i) { return *hosts_[i]; }
+  [[nodiscard]] Switch& leaf(int i) { return *leaves_[i]; }
+  [[nodiscard]] Switch& spine(int i) { return *spines_[i]; }
+
+  [[nodiscard]] int leaf_of(int host_id) const { return host_id / config_.hosts_per_leaf; }
+  [[nodiscard]] int local_index(int host_id) const { return host_id % config_.hosts_per_leaf; }
+  /// Any representative host in a rack (Hermes probe agents use host 0).
+  [[nodiscard]] int first_host_of_leaf(int leaf_id) const {
+    return leaf_id * config_.hosts_per_leaf;
+  }
+
+  /// All usable (non-cut) paths from src_leaf to dst_leaf. Empty for
+  /// src_leaf == dst_leaf (intra-rack traffic needs no fabric choice).
+  [[nodiscard]] const std::vector<FabricPath>& paths_between_leaves(int src_leaf,
+                                                                    int dst_leaf) const;
+  [[nodiscard]] const std::vector<FabricPath>& paths_between_hosts(int src_host,
+                                                                   int dst_host) const {
+    return paths_between_leaves(leaf_of(src_host), leaf_of(dst_host));
+  }
+  [[nodiscard]] const FabricPath& path(int path_id) const { return all_paths_[path_id]; }
+  [[nodiscard]] int num_paths() const { return static_cast<int>(all_paths_.size()); }
+
+  /// Source route for a data packet from src to dst over fabric path
+  /// `path_id` (-1 for intra-rack). Entries are switch egress ports.
+  [[nodiscard]] Route forward_route(int src_host, int dst_host, int path_id) const;
+  /// Route for the reverse direction (ACKs retrace the same path).
+  [[nodiscard]] Route reverse_route(int src_host, int dst_host, int path_id) const;
+
+  /// Fabric ports, for congestion-aware schemes that read switch state.
+  [[nodiscard]] Port& leaf_uplink(int leaf_id, int spine, int k = 0);
+  [[nodiscard]] Port& spine_downlink(int spine, int leaf_id, int k = 0);
+
+  /// Aggregate leaf->spine capacity: the sustainable inter-rack load unit.
+  [[nodiscard]] double bisection_bps() const { return bisection_bps_; }
+  /// One-hop queueing delay at the ECN threshold (the paper's per-hop
+  /// delay guideline used to derive T_RTT_high and Delta_RTT).
+  [[nodiscard]] sim::SimTime one_hop_delay() const;
+  /// Base RTT (propagation + serialization, empty queues) between hosts
+  /// under different leaves.
+  [[nodiscard]] sim::SimTime base_rtt() const;
+
+ private:
+  [[nodiscard]] double link_rate(int leaf_id, int spine, int k) const;
+  [[nodiscard]] int uplink_port_index(int spine, int k) const {
+    return config_.hosts_per_leaf + spine * config_.links_per_pair + k;
+  }
+  [[nodiscard]] int downlink_port_index(int leaf_id, int k) const {
+    return leaf_id * config_.links_per_pair + k;
+  }
+
+  sim::Simulator& simulator_;
+  TopologyConfig config_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> leaves_;
+  std::vector<std::unique_ptr<Switch>> spines_;
+  std::vector<FabricPath> all_paths_;
+  // pair_paths_[src_leaf * L + dst_leaf] -> usable paths
+  std::vector<std::vector<FabricPath>> pair_paths_;
+  std::vector<FabricPath> empty_;
+  double bisection_bps_ = 0;
+};
+
+}  // namespace hermes::net

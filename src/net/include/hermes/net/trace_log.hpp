@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hermes/net/packet.hpp"
+#include "hermes/net/port.hpp"
+#include "hermes/sim/time.hpp"
+
+namespace hermes::net {
+
+/// Packet-level event tracing (the simulator's pcap substitute).
+/// Attach a TraceLog to any set of ports; every enqueue, transmit-start
+/// and drop on those ports is recorded with timestamp, location, and
+/// packet identity. Intended for debugging and for fine-grained test
+/// assertions; ports pay only a null-check when no trace is attached.
+enum class TraceEvent : std::uint8_t {
+  kEnqueue,   ///< packet accepted into the port queue (CE already decided)
+  kTransmit,  ///< packet started serialization on the wire
+  kDrop,      ///< packet dropped at the port (buffer overflow)
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kEnqueue: return "ENQ";
+    case TraceEvent::kTransmit: return "TX ";
+    case TraceEvent::kDrop: return "DROP";
+  }
+  return "?";
+}
+
+struct TraceEntry {
+  sim::SimTime time;
+  TraceEvent event;
+  std::string port;  ///< port name, e.g. "leaf0:p17"
+  std::uint64_t packet_id = 0;
+  std::uint64_t flow_id = 0;
+  PacketType type = PacketType::kData;
+  std::uint32_t size = 0;
+  std::uint64_t seq = 0;
+  bool ce = false;
+};
+
+class TraceLog {
+ public:
+  /// Start recording this port's events (hooks stay installed for the
+  /// port's lifetime; the TraceLog must outlive it or be detached by
+  /// destroying the port first).
+  void attach(Port& port);
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::vector<TraceEntry> entries_for_flow(std::uint64_t flow_id) const;
+  [[nodiscard]] std::size_t count(TraceEvent e) const;
+  void clear() { entries_.clear(); }
+
+  /// Multi-line human-readable rendering ("12.3us ENQ leaf0:p17 ...").
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  void record(TraceEvent ev, const Port& port, const Packet& p);
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace hermes::net

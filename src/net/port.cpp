@@ -1,0 +1,83 @@
+#include "hermes/net/port.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace hermes::net {
+
+Port::Port(sim::Simulator& simulator, std::string name, PortConfig config,
+           Device* peer, int peer_in_port)
+    : simulator_{simulator},
+      name_{std::move(name)},
+      config_{config},
+      peer_{peer},
+      peer_in_port_{peer_in_port},
+      red_rng_{simulator.rng_stream(0x2ED0 ^ std::hash<std::string>{}(name_))} {}
+
+bool Port::should_mark() {
+  if (backlog_bytes_ < config_.ecn_threshold_bytes) return false;
+  if (config_.ecn_mode == EcnMode::kStep) return true;
+  const std::uint32_t max_th =
+      config_.red_max_bytes > 0 ? config_.red_max_bytes : 3 * config_.ecn_threshold_bytes;
+  if (backlog_bytes_ >= max_th) return true;
+  const double span = static_cast<double>(max_th - config_.ecn_threshold_bytes);
+  const double p = config_.red_pmax *
+                   static_cast<double>(backlog_bytes_ - config_.ecn_threshold_bytes) / span;
+  return red_rng_.chance(p);
+}
+
+void Port::send(Packet p) {
+  const bool admitted = pool_ ? pool_->try_admit(p.size, backlog_bytes_)
+                              : backlog_bytes_ + p.size <= config_.queue_capacity_bytes;
+  if (!admitted) {
+    ++stats_.drops;
+    stats_.drop_bytes += p.size;
+    if (on_drop) on_drop(p);
+    return;
+  }
+  // Mark on enqueue when the instantaneous backlog warrants it (step or
+  // RED discipline). Marking considers the total backlog so that
+  // high-priority probes also observe congestion built up by data.
+  if (config_.ecn_enabled && p.ect && should_mark()) {
+    p.ce = true;
+    ++stats_.ecn_marks;
+  }
+  backlog_bytes_ += p.size;
+  if (on_enqueue) on_enqueue(p);
+  (p.priority > 0 ? hi_ : lo_).push_back(std::move(p));
+  try_transmit();
+}
+
+void Port::try_transmit() {
+  if (busy_) return;
+  if (hi_.empty() && lo_.empty()) return;
+  busy_ = true;
+  auto& q = hi_.empty() ? lo_ : hi_;
+  Packet p = std::move(q.front());
+  q.pop_front();
+  backlog_bytes_ -= p.size;
+  if (pool_) pool_->release(p.size);
+  dre_.add(p.size, simulator_.now());
+  ++stats_.tx_packets;
+  stats_.tx_bytes += p.size;
+  if (on_transmit) on_transmit(p);
+  const auto tx = tx_time(p.size);
+  // The packet rides "the wire" until tx + propagation; deliveries are
+  // FIFO, so a this-capturing event (no allocation) pops the next one.
+  wire_.push_back(std::move(p));
+  simulator_.after(tx, [this] { finish_transmit(); });
+}
+
+void Port::finish_transmit() {
+  busy_ = false;
+  simulator_.after(config_.prop_delay, [this] { deliver_front(); });
+  try_transmit();
+}
+
+void Port::deliver_front() {
+  Packet p = std::move(wire_.front());
+  wire_.pop_front();
+  peer_->receive(std::move(p), peer_in_port_);
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,194 @@
+#include "hermes/net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace hermes::net {
+
+namespace {
+constexpr std::uint32_t kPacketWire = 1500;
+}
+
+std::uint32_t TopologyConfig::ecn_bytes_for(double rate_bps) const {
+  if (ecn_threshold_bytes != 0) return ecn_threshold_bytes;
+  // 65 packets at 10G scaled linearly with rate, but never below 20 packets
+  // (the DCTCP guideline for 1G; the paper's testbed uses 30KB at 1G).
+  const double pkts = std::max(20.0, 65.0 * rate_bps / 10e9);
+  return static_cast<std::uint32_t>(pkts * kPacketWire);
+}
+
+std::uint32_t TopologyConfig::queue_bytes_for(double rate_bps) const {
+  if (queue_capacity_bytes != 0) return queue_capacity_bytes;
+  return std::max<std::uint32_t>(6 * ecn_bytes_for(rate_bps), 150 * 1024);
+}
+
+PortConfig TopologyConfig::port_config(double rate_bps) const {
+  PortConfig pc;
+  pc.rate_bps = rate_bps;
+  pc.prop_delay = link_delay;
+  pc.ecn_threshold_bytes = ecn_bytes_for(rate_bps);
+  pc.queue_capacity_bytes = queue_bytes_for(rate_bps);
+  pc.ecn_enabled = ecn_enabled;
+  return pc;
+}
+
+double Topology::link_rate(int leaf_id, int spine, int k) const {
+  auto it = config_.fabric_overrides.find({leaf_id, spine, k});
+  return it != config_.fabric_overrides.end() ? it->second : config_.fabric_rate_bps;
+}
+
+Topology::Topology(sim::Simulator& simulator, TopologyConfig config)
+    : simulator_{simulator}, config_{config} {
+  const int L = config_.num_leaves;
+  const int S = config_.num_spines;
+  const int H = config_.hosts_per_leaf;
+  const int M = config_.links_per_pair;
+  if (L < 1 || S < 1 || H < 1 || M < 1) throw std::invalid_argument("bad topology shape");
+
+  for (int i = 0; i < L * H; ++i) hosts_.push_back(std::make_unique<Host>(simulator_, i));
+  for (int i = 0; i < L; ++i)
+    leaves_.push_back(std::make_unique<Switch>(simulator_, i, "leaf" + std::to_string(i)));
+  for (int i = 0; i < S; ++i)
+    spines_.push_back(std::make_unique<Switch>(simulator_, i, "spine" + std::to_string(i)));
+
+  // Host <-> leaf links. Leaf ports [0, H) go down to hosts.
+  for (int l = 0; l < L; ++l) {
+    for (int h = 0; h < H; ++h) {
+      const int host_id = l * H + h;
+      hosts_[host_id]->attach_uplink(config_.port_config(config_.host_rate_bps),
+                                     leaves_[l].get(), h);
+      const int p = leaves_[l]->add_port(config_.port_config(config_.host_rate_bps),
+                                         hosts_[host_id].get(), 0);
+      assert(p == h);
+      (void)p;
+    }
+  }
+  // Leaf <-> spine links. Leaf ports [H, H + S*M) go up; spine ports
+  // [0, L*M) go down. Asymmetric overrides apply to both directions;
+  // rate 0 means the link is cut (paths through it are excluded).
+  for (int l = 0; l < L; ++l) {
+    for (int s = 0; s < S; ++s) {
+      for (int k = 0; k < M; ++k) {
+        const double rate = link_rate(l, s, k);
+        const double effective = rate > 0 ? rate : config_.fabric_rate_bps;
+        const int up = leaves_[l]->add_port(config_.port_config(effective), spines_[s].get(),
+                                            downlink_port_index(l, k));
+        assert(up == uplink_port_index(s, k));
+        leaves_[l]->port(up).is_fabric = true;
+      }
+    }
+  }
+  for (int s = 0; s < S; ++s) {
+    for (int l = 0; l < L; ++l) {
+      for (int k = 0; k < M; ++k) {
+        const double rate = link_rate(l, s, k);
+        const double effective = rate > 0 ? rate : config_.fabric_rate_bps;
+        const int down = spines_[s]->add_port(config_.port_config(effective), leaves_[l].get(),
+                                              uplink_port_index(s, k));
+        assert(down == downlink_port_index(l, k));
+        spines_[s]->port(down).is_fabric = true;
+      }
+    }
+  }
+
+  // Shared-memory buffering (optional): one Dynamic Threshold pool per
+  // switch instead of static per-port carving.
+  if (config_.shared_buffer_bytes > 0) {
+    for (auto& sw : leaves_) sw->use_shared_buffer(config_.shared_buffer_bytes, config_.dt_alpha);
+    for (auto& sw : spines_) sw->use_shared_buffer(config_.shared_buffer_bytes, config_.dt_alpha);
+  }
+
+  // Enumerate usable paths per ordered leaf pair.
+  pair_paths_.resize(static_cast<std::size_t>(L) * L);
+  for (int a = 0; a < L; ++a) {
+    for (int b = 0; b < L; ++b) {
+      if (a == b) continue;
+      auto& list = pair_paths_[static_cast<std::size_t>(a) * L + b];
+      for (int s = 0; s < S; ++s) {
+        for (int k = 0; k < M; ++k) {
+          const double up_rate = link_rate(a, s, k);
+          const double down_rate = link_rate(b, s, k);
+          if (up_rate <= 0 || down_rate <= 0) continue;  // cut link
+          FabricPath p;
+          p.id = static_cast<int>(all_paths_.size());
+          p.src_leaf = a;
+          p.dst_leaf = b;
+          p.spine = s;
+          p.link_idx = k;
+          p.local_index = static_cast<int>(list.size());
+          p.capacity_bps = std::min(up_rate, down_rate);
+          all_paths_.push_back(p);
+          list.push_back(p);
+        }
+      }
+      if (list.empty()) throw std::invalid_argument("leaf pair disconnected by overrides");
+    }
+  }
+
+  bisection_bps_ = 0;
+  for (int l = 0; l < L; ++l)
+    for (int s = 0; s < S; ++s)
+      for (int k = 0; k < M; ++k) bisection_bps_ += std::max(0.0, link_rate(l, s, k));
+}
+
+const std::vector<FabricPath>& Topology::paths_between_leaves(int src_leaf, int dst_leaf) const {
+  if (src_leaf == dst_leaf) return empty_;
+  return pair_paths_[static_cast<std::size_t>(src_leaf) * config_.num_leaves + dst_leaf];
+}
+
+Route Topology::forward_route(int src_host, int dst_host, int path_id) const {
+  Route r;
+  const int src_leaf = leaf_of(src_host);
+  const int dst_leaf = leaf_of(dst_host);
+  if (src_leaf == dst_leaf) {
+    r.push(static_cast<std::uint8_t>(local_index(dst_host)));
+    return r;
+  }
+  const FabricPath& p = all_paths_.at(path_id);
+  assert(p.src_leaf == src_leaf && p.dst_leaf == dst_leaf);
+  r.push(static_cast<std::uint8_t>(uplink_port_index(p.spine, p.link_idx)));
+  r.push(static_cast<std::uint8_t>(downlink_port_index(dst_leaf, p.link_idx)));
+  r.push(static_cast<std::uint8_t>(local_index(dst_host)));
+  return r;
+}
+
+Route Topology::reverse_route(int src_host, int dst_host, int path_id) const {
+  Route r;
+  const int src_leaf = leaf_of(src_host);
+  const int dst_leaf = leaf_of(dst_host);
+  if (src_leaf == dst_leaf) {
+    r.push(static_cast<std::uint8_t>(local_index(src_host)));
+    return r;
+  }
+  const FabricPath& p = all_paths_.at(path_id);
+  r.push(static_cast<std::uint8_t>(uplink_port_index(p.spine, p.link_idx)));
+  r.push(static_cast<std::uint8_t>(downlink_port_index(src_leaf, p.link_idx)));
+  r.push(static_cast<std::uint8_t>(local_index(src_host)));
+  return r;
+}
+
+Port& Topology::leaf_uplink(int leaf_id, int spine, int k) {
+  return leaves_[leaf_id]->port(uplink_port_index(spine, k));
+}
+
+Port& Topology::spine_downlink(int spine, int leaf_id, int k) {
+  return spines_[spine]->port(downlink_port_index(leaf_id, k));
+}
+
+sim::SimTime Topology::one_hop_delay() const {
+  // Queueing delay of a fabric link filled to the ECN threshold.
+  const double bytes = config_.ecn_bytes_for(config_.fabric_rate_bps);
+  return sim::SimTime::from_seconds(bytes * 8.0 / config_.fabric_rate_bps);
+}
+
+sim::SimTime Topology::base_rtt() const {
+  // 4 links each way (host->leaf->spine->leaf->host), full-size data out,
+  // ACK back; serialization counted once per hop.
+  const double data_ser = 4 * kPacketWire * 8.0 / std::min(config_.host_rate_bps, config_.fabric_rate_bps);
+  const double ack_ser = 4 * 64 * 8.0 / std::min(config_.host_rate_bps, config_.fabric_rate_bps);
+  return 8 * config_.link_delay + sim::SimTime::from_seconds(data_ser + ack_ser);
+}
+
+}  // namespace hermes::net

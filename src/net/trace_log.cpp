@@ -1,0 +1,55 @@
+#include "hermes/net/trace_log.hpp"
+
+#include <cstdio>
+
+namespace hermes::net {
+
+void TraceLog::attach(Port& port) {
+  port.on_enqueue = [this, &port](const Packet& p) { record(TraceEvent::kEnqueue, port, p); };
+  port.on_transmit = [this, &port](const Packet& p) { record(TraceEvent::kTransmit, port, p); };
+  port.on_drop = [this, &port](const Packet& p) { record(TraceEvent::kDrop, port, p); };
+}
+
+void TraceLog::record(TraceEvent ev, const Port& port, const Packet& p) {
+  TraceEntry e;
+  e.time = port.now();
+  e.event = ev;
+  e.port = port.name();
+  e.packet_id = p.id;
+  e.flow_id = p.flow_id;
+  e.type = p.type;
+  e.size = p.size;
+  e.seq = p.seq;
+  e.ce = p.ce;
+  entries_.push_back(std::move(e));
+}
+
+std::vector<TraceEntry> TraceLog::entries_for_flow(std::uint64_t flow_id) const {
+  std::vector<TraceEntry> out;
+  for (const auto& e : entries_)
+    if (e.flow_id == flow_id) out.push_back(e);
+  return out;
+}
+
+std::size_t TraceLog::count(TraceEvent e) const {
+  std::size_t n = 0;
+  for (const auto& entry : entries_)
+    if (entry.event == e) ++n;
+  return n;
+}
+
+std::string TraceLog::to_text() const {
+  std::string out;
+  char buf[192];
+  for (const auto& e : entries_) {
+    std::snprintf(buf, sizeof buf, "%12.3fus %s %-14s pkt=%llu flow=%llu seq=%llu size=%u%s\n",
+                  e.time.to_usec(), to_string(e.event), e.port.c_str(),
+                  static_cast<unsigned long long>(e.packet_id),
+                  static_cast<unsigned long long>(e.flow_id),
+                  static_cast<unsigned long long>(e.seq), e.size, e.ce ? " CE" : "");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,60 @@
+#include "hermes/sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hermes::sim {
+
+void EventQueue::post_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(cb), nullptr});
+}
+
+EventQueue::Handle EventQueue::schedule_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  auto state = std::make_shared<Handle::State>();
+  Handle h{state};
+  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(cb), std::move(state)});
+  return h;
+}
+
+void EventQueue::purge_cancelled() {
+  while (!heap_.empty() && heap_.top().state && heap_.top().state->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() {
+  purge_cancelled();
+  return heap_.empty();
+}
+
+bool EventQueue::run_one() {
+  purge_cancelled();
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the event must be moved out before the
+  // callback runs because the callback may push new events.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  if (ev.state) ev.state->fired = true;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t) {
+  stopped_ = false;
+  for (;;) {
+    purge_cancelled();
+    if (heap_.empty() || heap_.top().time > t || stopped_) break;
+    run_one();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+void EventQueue::run() {
+  stopped_ = false;
+  while (!stopped_ && run_one()) {
+  }
+}
+
+}  // namespace hermes::sim

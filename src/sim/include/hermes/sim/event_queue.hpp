@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "hermes/sim/time.hpp"
+
+namespace hermes::sim {
+
+/// Discrete-event scheduler. Events fire in nondecreasing time order;
+/// equal-time events fire in the order they were scheduled (stable FIFO),
+/// which keeps packet pipelines deterministic.
+///
+/// Two scheduling paths exist for performance:
+///  * post_at/post_in  — fire-and-forget, stored by value, used by the
+///    packet hot path (no cancellation state is allocated);
+///  * schedule_at/schedule_in — return a cancellable Handle, used by
+///    timers (retransmission timeouts, CBR pacing).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle to a cancellable event. Default-constructed handles are
+  /// inert. Cancelling an already-fired event is a no-op.
+  class Handle {
+   public:
+    Handle() = default;
+    void cancel() {
+      if (auto s = state_.lock()) s->cancelled = true;
+      state_.reset();
+    }
+    [[nodiscard]] bool pending() const {
+      auto s = state_.lock();
+      return s && !s->cancelled && !s->fired;
+    }
+
+   private:
+    friend class EventQueue;
+    struct State {
+      bool cancelled = false;
+      bool fired = false;
+    };
+    explicit Handle(std::weak_ptr<State> s) : state_{std::move(s)} {}
+    std::weak_ptr<State> state_;
+  };
+
+  /// Fire-and-forget scheduling (fast path, no cancellation).
+  void post_at(SimTime t, Callback cb);
+  void post_in(SimTime delay, Callback cb) { post_at(now_ + delay, std::move(cb)); }
+
+  /// Cancellable scheduling (timers).
+  Handle schedule_at(SimTime t, Callback cb);
+  Handle schedule_in(SimTime delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  /// True when no runnable (non-cancelled) events remain.
+  [[nodiscard]] bool empty();
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Run the next pending event. Returns false if none remain.
+  bool run_one();
+  /// Run all events with time <= t, then advance the clock to t.
+  void run_until(SimTime t);
+  /// Run until the queue drains or stop() is called.
+  void run();
+  /// Stop a run()/run_until() loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq = 0;
+    Callback cb;
+    std::shared_ptr<Handle::State> state;  // null for posted events
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop cancelled events off the top of the heap.
+  void purge_cancelled();
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace hermes::sim {
+
+/// Deterministic random stream. Every stochastic component of the simulator
+/// draws from its own Rng seeded from the scenario master seed, so runs are
+/// reproducible and schemes can be compared on identical arrival sequences.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_{seed} {}
+
+  /// Uniform integer in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t next(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>{0, n - 1}(engine_);
+  }
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+  /// Exponential with the given mean (inter-arrival sampling).
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_) < p;
+  }
+  /// Derive an independent child stream; stable for a given (seed, salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt) {
+    return Rng{split_mix(state_salt_ ^ (salt * 0x9E3779B97F4A7C15ULL))};
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  [[nodiscard]] static std::uint64_t split_mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+  std::mt19937_64 engine_;
+  std::uint64_t state_salt_ = engine_();
+};
+
+}  // namespace hermes::sim

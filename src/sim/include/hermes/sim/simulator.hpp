@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hermes/sim/event_queue.hpp"
+#include "hermes/sim/rng.hpp"
+#include "hermes/sim/time.hpp"
+
+namespace hermes::sim {
+
+/// The simulation context shared by every component: a clock, an event
+/// scheduler, and a master random seed from which components derive
+/// independent deterministic streams.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : master_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return queue_.now(); }
+  [[nodiscard]] EventQueue& events() { return queue_; }
+
+  /// Fire-and-forget scheduling (packet pipeline hot path).
+  void at(SimTime t, EventQueue::Callback cb) { queue_.post_at(t, std::move(cb)); }
+  void after(SimTime delay, EventQueue::Callback cb) { queue_.post_in(delay, std::move(cb)); }
+
+  /// Cancellable timers (RTO, pacing).
+  EventQueue::Handle timer_at(SimTime t, EventQueue::Callback cb) {
+    return queue_.schedule_at(t, std::move(cb));
+  }
+  EventQueue::Handle timer_after(SimTime delay, EventQueue::Callback cb) {
+    return queue_.schedule_in(delay, std::move(cb));
+  }
+
+  void run() { queue_.run(); }
+  void run_until(SimTime t) { queue_.run_until(t); }
+  void stop() { queue_.stop(); }
+
+  /// Independent deterministic random stream for a named component.
+  [[nodiscard]] Rng rng_stream(std::uint64_t salt) { return master_.fork(salt); }
+
+ private:
+  EventQueue queue_;
+  Rng master_;
+};
+
+}  // namespace hermes::sim

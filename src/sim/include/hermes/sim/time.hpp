@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace hermes::sim {
+
+/// Simulation time: a strongly typed count of nanoseconds since the start of
+/// the simulation. Arithmetic is closed over SimTime (durations and instants
+/// share the representation, as is conventional in network simulators).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t v) { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime microseconds(std::int64_t v) { return SimTime{v * 1'000}; }
+  [[nodiscard]] static constexpr SimTime milliseconds(std::int64_t v) { return SimTime{v * 1'000'000}; }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t v) { return SimTime{v * 1'000'000'000}; }
+  /// From a real-valued second count (e.g. a transmission delay size/rate).
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + 0.5)};
+  }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_usec() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double to_msec() const { return static_cast<double>(ns_) * 1e-6; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ns_ + b.ns_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ns_ - b.ns_}; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.ns_ * k}; }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.ns_ * k}; }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) { return SimTime{a.ns_ / k}; }
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr SimTime& operator+=(SimTime o) { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ns_ -= o.ns_; return *this; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  /// Human-readable rendering, e.g. "153.2us" or "10ms".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// Short constructor helpers, used pervasively in configs and tests.
+[[nodiscard]] constexpr SimTime nsec(std::int64_t v) { return SimTime::nanoseconds(v); }
+[[nodiscard]] constexpr SimTime usec(std::int64_t v) { return SimTime::microseconds(v); }
+[[nodiscard]] constexpr SimTime msec(std::int64_t v) { return SimTime::milliseconds(v); }
+[[nodiscard]] constexpr SimTime sec(std::int64_t v) { return SimTime::seconds(v); }
+
+}  // namespace hermes::sim

@@ -1,0 +1,23 @@
+#include "hermes/sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hermes::sim {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  const auto v = static_cast<double>(ns_);
+  if (std::abs(ns_) < 1'000) {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(ns_));
+  } else if (std::abs(ns_) < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3gus", v * 1e-3);
+  } else if (std::abs(ns_) < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.4gms", v * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4gs", v * 1e-9);
+  }
+  return buf;
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,71 @@
+#include "hermes/stats/fct.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hermes::stats {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+FctSummary FctCollector::summarize(std::uint64_t min_size, std::uint64_t max_size,
+                                   bool include_unfinished) const {
+  std::vector<double> fcts;
+  fcts.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (!r.finished && !include_unfinished) continue;
+    if (r.size < min_size || r.size >= max_size) continue;
+    fcts.push_back(r.fct().to_usec());
+  }
+  FctSummary s;
+  s.count = fcts.size();
+  if (fcts.empty()) return s;
+  double sum = 0;
+  for (double v : fcts) sum += v;
+  s.mean_us = sum / static_cast<double>(fcts.size());
+  s.p50_us = percentile(fcts, 50);
+  s.p95_us = percentile(fcts, 95);
+  s.p99_us = percentile(fcts, 99);
+  s.max_us = *std::max_element(fcts.begin(), fcts.end());
+  return s;
+}
+
+std::size_t FctCollector::unfinished_flows() const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (!r.finished) ++n;
+  return n;
+}
+
+double FctCollector::unfinished_fraction() const {
+  return records_.empty()
+             ? 0.0
+             : static_cast<double>(unfinished_flows()) / static_cast<double>(records_.size());
+}
+
+std::uint64_t FctCollector::total_timeouts() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records_) n += r.timeouts;
+  return n;
+}
+
+std::uint64_t FctCollector::total_retransmissions() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records_) n += r.packets_retransmitted;
+  return n;
+}
+
+std::uint64_t FctCollector::total_reroutes() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records_) n += r.reroutes;
+  return n;
+}
+
+}  // namespace hermes::stats

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "hermes/stats/fct.hpp"
+
+namespace hermes::stats {
+
+/// CSV rendering of flow records and summaries, for piping experiment
+/// output into plotting tools.
+///
+/// Columns of the per-flow table:
+///   id,size_bytes,start_us,fct_us,finished,timeouts,fast_retx,
+///   pkts_sent,pkts_retx,reroutes
+[[nodiscard]] std::string to_csv(const FctCollector& fct);
+
+/// One summary row: label,count,mean_us,p50_us,p95_us,p99_us,max_us
+[[nodiscard]] std::string summary_csv_header();
+[[nodiscard]] std::string summary_csv_row(const std::string& label, const FctSummary& s);
+
+/// Write `content` to `path`; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace hermes::stats

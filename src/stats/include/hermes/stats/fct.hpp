@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hermes/sim/time.hpp"
+#include "hermes/transport/flow.hpp"
+
+namespace hermes::stats {
+
+/// Summary statistics of a set of flow completion times.
+struct FctSummary {
+  std::size_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+/// Collects FlowRecords and produces the FCT breakdowns the paper reports:
+/// overall, small flows (<100KB) and large flows (>10MB), plus the
+/// unfinished-flow fraction that drives the blackhole experiment (Fig. 17).
+class FctCollector {
+ public:
+  static constexpr std::uint64_t kSmallLimit = 100 * 1000;       // <100KB
+  static constexpr std::uint64_t kLargeLimit = 10 * 1000 * 1000;  // >10MB
+
+  void add(const transport::FlowRecord& r) { records_.push_back(r); }
+  /// Record a flow that did not finish before the simulation time cap;
+  /// its "FCT so far" is cap - start (the paper's failure experiments
+  /// count unfinished flows this way — they dominate the averages).
+  void add_unfinished(std::uint64_t size, sim::SimTime start, sim::SimTime cap) {
+    transport::FlowRecord r;
+    r.size = size;
+    r.start = start;
+    r.end = cap;
+    r.finished = false;
+    records_.push_back(r);
+  }
+
+  [[nodiscard]] FctSummary overall() const { return summarize(0, UINT64_MAX); }
+  [[nodiscard]] FctSummary small_flows() const { return summarize(0, kSmallLimit); }
+  [[nodiscard]] FctSummary large_flows() const { return summarize(kLargeLimit, UINT64_MAX); }
+  /// Flows with min_size <= size < max_size (custom bins). When
+  /// `include_unfinished` is set, flows that never finished contribute
+  /// their time-in-system at the cap.
+  [[nodiscard]] FctSummary summarize(std::uint64_t min_size, std::uint64_t max_size,
+                                     bool include_unfinished = false) const;
+  [[nodiscard]] FctSummary overall_with_unfinished() const {
+    return summarize(0, UINT64_MAX, true);
+  }
+
+  [[nodiscard]] std::size_t total_flows() const { return records_.size(); }
+  [[nodiscard]] std::size_t unfinished_flows() const;
+  [[nodiscard]] double unfinished_fraction() const;
+  [[nodiscard]] std::uint64_t total_timeouts() const;
+  [[nodiscard]] std::uint64_t total_retransmissions() const;
+  [[nodiscard]] std::uint64_t total_reroutes() const;
+  [[nodiscard]] const std::vector<transport::FlowRecord>& records() const { return records_; }
+
+ private:
+  std::vector<transport::FlowRecord> records_;
+};
+
+/// Percentile of a sample vector (nearest-rank on a sorted copy).
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace hermes::stats

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hermes/lb/load_balancer.hpp"
+
+namespace hermes::stats {
+
+/// Transparent LoadBalancer decorator that records where traffic actually
+/// went: per-path packet/byte counts, per-flow path histograms, and every
+/// mid-flow path change with its timestamp. Install it through
+/// ScenarioConfig::wrap_balancer to analyze any scheme's behaviour (e.g.
+/// how much traffic a scheme keeps sending through a failed spine).
+class PathUsageRecorder final : public lb::LoadBalancer {
+ public:
+  struct PathCounters {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct Reroute {
+    std::uint64_t flow_id = 0;
+    int from_path = -1;
+    int to_path = -1;
+  };
+
+  explicit PathUsageRecorder(std::unique_ptr<lb::LoadBalancer> inner)
+      : inner_{std::move(inner)} {}
+
+  int select_path(lb::FlowCtx& flow, const net::Packet& pkt) override {
+    const int before = flow.current_path;
+    const int path = inner_->select_path(flow, pkt);
+    auto& c = per_path_[path];
+    ++c.packets;
+    c.bytes += pkt.size;
+    ++per_flow_[flow.flow_id][path];
+    if (flow.has_sent && path != before) {
+      reroutes_.push_back({flow.flow_id, before, path});
+    }
+    return path;
+  }
+
+  void on_ack(lb::FlowCtx& f, const net::Packet& a) override { inner_->on_ack(f, a); }
+  void on_data_arrival(const net::Packet& d) override { inner_->on_data_arrival(d); }
+  void decorate_ack(const net::Packet& d, net::Packet& a) override {
+    inner_->decorate_ack(d, a);
+  }
+  void on_timeout(lb::FlowCtx& f) override { inner_->on_timeout(f); }
+  void on_retransmit(lb::FlowCtx& f, int p) override { inner_->on_retransmit(f, p); }
+  void on_flow_complete(lb::FlowCtx& f) override { inner_->on_flow_complete(f); }
+  [[nodiscard]] std::string_view name() const override { return inner_->name(); }
+
+  /// Packets/bytes per global path id (-1 = intra-rack).
+  [[nodiscard]] const std::map<int, PathCounters>& per_path() const { return per_path_; }
+  /// Packets per path for one flow.
+  [[nodiscard]] std::map<int, std::uint64_t> flow_histogram(std::uint64_t flow_id) const {
+    auto it = per_flow_.find(flow_id);
+    return it == per_flow_.end() ? std::map<int, std::uint64_t>{} : it->second;
+  }
+  /// Every observed mid-flow path change, in order.
+  [[nodiscard]] const std::vector<Reroute>& reroutes() const { return reroutes_; }
+  /// Fraction of fabric bytes that used `path_id`.
+  [[nodiscard]] double byte_share(int path_id) const {
+    double total = 0, mine = 0;
+    for (const auto& [id, c] : per_path_) {
+      if (id < 0) continue;
+      total += static_cast<double>(c.bytes);
+      if (id == path_id) mine = static_cast<double>(c.bytes);
+    }
+    return total > 0 ? mine / total : 0.0;
+  }
+  [[nodiscard]] lb::LoadBalancer& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<lb::LoadBalancer> inner_;
+  std::map<int, PathCounters> per_path_;
+  std::unordered_map<std::uint64_t, std::map<int, std::uint64_t>> per_flow_;
+  std::vector<Reroute> reroutes_;
+};
+
+}  // namespace hermes::stats

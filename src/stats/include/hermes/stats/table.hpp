@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hermes::stats {
+
+/// Minimal fixed-width console table used by the benchmark harness to
+/// print paper-style result rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void print(std::FILE* out = stdout) const;
+
+  /// Format helpers.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string usec(double v);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hermes::stats

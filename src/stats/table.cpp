@@ -1,0 +1,59 @@
+#include "hermes/stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hermes::stats {
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  auto line = [&](char fill) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      std::fputc('+', out);
+      for (std::size_t k = 0; k < width[i] + 2; ++k) std::fputc(fill, out);
+    }
+    std::fputs("+\n", out);
+  };
+  auto row_out = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      std::fprintf(out, "| %-*s ", static_cast<int>(width[i]), c.c_str());
+    }
+    std::fputs("|\n", out);
+  };
+
+  line('-');
+  row_out(headers_);
+  line('=');
+  for (const auto& r : rows_) row_out(r);
+  line('-');
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::usec(double v) {
+  char buf[64];
+  if (v >= 100000) {
+    std::snprintf(buf, sizeof buf, "%.2fms", v / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fus", v);
+  }
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace hermes::stats

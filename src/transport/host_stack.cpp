@@ -1,0 +1,83 @@
+#include "hermes/transport/host_stack.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace hermes::transport {
+
+HostStack::HostStack(sim::Simulator& simulator, net::Topology& topo, int host_id,
+                     lb::LoadBalancer& lb, TcpConfig config)
+    : simulator_{simulator}, topo_{topo}, host_id_{host_id}, lb_{lb}, config_{config} {
+  topo_.host(host_id_).on_receive = [this](net::Packet p, int) { handle(std::move(p)); };
+}
+
+TcpSender& HostStack::start_flow(const FlowSpec& spec, TcpSender::CompletionFn on_complete) {
+  assert(spec.src == host_id_ && "flow must originate at this host");
+  auto sender = std::make_unique<TcpSender>(
+      simulator_, topo_, lb_, config_, spec,
+      [this](net::Packet p) { send_raw(std::move(p)); }, std::move(on_complete));
+  TcpSender& ref = *sender;
+  senders_[spec.id] = std::move(sender);
+  ref.start();
+  return ref;
+}
+
+TcpSender* HostStack::sender(std::uint64_t flow_id) {
+  auto it = senders_.find(flow_id);
+  return it != senders_.end() ? it->second.get() : nullptr;
+}
+
+TcpReceiver* HostStack::receiver(std::uint64_t flow_id) {
+  auto it = receivers_.find(flow_id);
+  return it != receivers_.end() ? it->second.get() : nullptr;
+}
+
+void HostStack::handle(net::Packet p) {
+  switch (p.type) {
+    case net::PacketType::kData: {
+      auto it = receivers_.find(p.flow_id);
+      if (it == receivers_.end()) {
+        it = receivers_
+                 .emplace(p.flow_id, std::make_unique<TcpReceiver>(
+                                         simulator_, topo_, lb_, config_, p.flow_id, p.src,
+                                         p.dst, [this](net::Packet q) { send_raw(std::move(q)); }))
+                 .first;
+      }
+      it->second->on_data(p);
+      break;
+    }
+    case net::PacketType::kAck: {
+      if (TcpSender* s = sender(p.flow_id)) s->on_ack(p);
+      break;
+    }
+    case net::PacketType::kProbe:
+      answer_probe(p);
+      break;
+    case net::PacketType::kProbeReply:
+      if (on_probe_reply) on_probe_reply(p);
+      break;
+    case net::PacketType::kUdp:
+      if (on_udp) on_udp(p);
+      break;
+  }
+}
+
+void HostStack::answer_probe(const net::Packet& probe) {
+  net::Packet reply;
+  reply.id = probe.id;
+  reply.probe_id = probe.probe_id;
+  reply.type = net::PacketType::kProbeReply;
+  reply.src = host_id_;
+  reply.dst = probe.src;
+  reply.size = net::kProbeBytes;
+  // Echo the forward-path congestion observations back to the prober.
+  reply.ece = probe.ce;
+  reply.ts_echo = probe.ts_sent;
+  reply.path_id = probe.path_id;
+  reply.priority = 1;
+  reply.ect = false;
+  reply.route = topo_.reverse_route(probe.src, probe.dst, probe.path_id);
+  send_raw(std::move(reply));
+}
+
+}  // namespace hermes::transport

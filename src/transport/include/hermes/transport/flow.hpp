@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hermes/sim/time.hpp"
+
+namespace hermes::transport {
+
+/// A flow to run: `size` bytes from `src` to `dst`, arriving at `start`.
+struct FlowSpec {
+  std::uint64_t id = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::uint64_t size = 0;
+  sim::SimTime start{};
+};
+
+/// What a finished (or unfinished-at-end) flow looked like.
+struct FlowRecord {
+  std::uint64_t id = 0;
+  std::uint64_t size = 0;
+  sim::SimTime start{};
+  sim::SimTime end{};
+  bool finished = false;
+  std::uint32_t timeouts = 0;
+  std::uint32_t fast_retransmits = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_retransmitted = 0;
+  std::uint32_t reroutes = 0;
+
+  [[nodiscard]] sim::SimTime fct() const { return end - start; }
+};
+
+}  // namespace hermes::transport

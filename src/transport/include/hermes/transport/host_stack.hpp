@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "hermes/lb/load_balancer.hpp"
+#include "hermes/net/host.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/simulator.hpp"
+#include "hermes/transport/flow.hpp"
+#include "hermes/transport/tcp_config.hpp"
+#include "hermes/transport/tcp_receiver.hpp"
+#include "hermes/transport/tcp_sender.hpp"
+
+namespace hermes::transport {
+
+/// Per-host transport stack: multiplexes flows over the host's NIC,
+/// creates receivers on demand, answers Hermes probes, and exposes hooks
+/// for probe replies and UDP sinks. This is the "hypervisor" layer the
+/// paper's end-host module lives in.
+class HostStack {
+ public:
+  HostStack(sim::Simulator& simulator, net::Topology& topo, int host_id,
+            lb::LoadBalancer& lb, TcpConfig config);
+
+  /// Start a flow originating at this host (spec.src must equal host_id).
+  /// `on_complete` fires when the last byte is acknowledged.
+  TcpSender& start_flow(const FlowSpec& spec, TcpSender::CompletionFn on_complete);
+
+  /// Deliver a packet arriving at this host (wired to Host::on_receive).
+  void handle(net::Packet p);
+
+  [[nodiscard]] int host_id() const { return host_id_; }
+  [[nodiscard]] TcpSender* sender(std::uint64_t flow_id);
+  [[nodiscard]] TcpReceiver* receiver(std::uint64_t flow_id);
+  [[nodiscard]] net::Host& host() { return topo_.host(host_id_); }
+
+  /// Send a raw packet from this host (used by probers and UDP sources).
+  void send_raw(net::Packet p) { host().send(std::move(p)); }
+
+  /// Installed by the Hermes wiring: called with every arriving probe reply.
+  std::function<void(const net::Packet&)> on_probe_reply;
+  /// Optional sink for UDP payload accounting.
+  std::function<void(const net::Packet&)> on_udp;
+
+ private:
+  void answer_probe(const net::Packet& probe);
+
+  sim::Simulator& simulator_;
+  net::Topology& topo_;
+  int host_id_;
+  lb::LoadBalancer& lb_;
+  TcpConfig config_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<TcpSender>> senders_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<TcpReceiver>> receivers_;
+};
+
+}  // namespace hermes::transport

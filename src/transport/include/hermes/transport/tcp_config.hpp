@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hermes/sim/time.hpp"
+
+namespace hermes::transport {
+
+/// Transport parameters (§5.1 of the paper): DCTCP by default with an
+/// initial window of 10 packets and initial/minimum RTO of 10ms.
+struct TcpConfig {
+  std::uint32_t mss = 1460;          ///< payload bytes per segment
+  std::uint32_t init_cwnd_pkts = 10;
+  std::uint32_t min_cwnd_pkts = 2;   ///< floor after an ECN window cut
+  std::uint64_t max_cwnd_bytes = 5 * 1024 * 1024;
+
+  sim::SimTime init_rto = sim::msec(10);
+  sim::SimTime max_rto = sim::msec(320);
+  std::uint32_t dupack_threshold = 3;
+
+  bool dctcp = true;        ///< false = plain NewReno, ECN ignored
+  double dctcp_g = 1.0 / 16.0;
+
+  /// Receiver-side reordering mask (Presto*'s reordering buffer): hold
+  /// out-of-order arrivals for up to `reorder_hold` before emitting
+  /// duplicate ACKs, so spraying does not trigger spurious fast
+  /// retransmits while genuine losses are still recovered.
+  bool reorder_buffer = false;
+  sim::SimTime reorder_hold = sim::usec(300);
+
+  /// Delayed ACKs with DCTCP's CE-change rule (RFC 8257 §3.2): coalesce
+  /// up to `ack_every` in-order segments or `delack_timeout`, but flush
+  /// immediately whenever the observed CE state flips so the sender's
+  /// ECN fraction stays byte-accurate. Off by default: the paper's
+  /// evaluation senses per packet.
+  bool delayed_ack = false;
+  std::uint32_t ack_every = 2;
+  sim::SimTime delack_timeout = sim::usec(500);
+};
+
+}  // namespace hermes::transport

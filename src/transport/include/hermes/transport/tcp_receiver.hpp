@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "hermes/lb/load_balancer.hpp"
+#include "hermes/net/packet.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/simulator.hpp"
+#include "hermes/transport/tcp_config.hpp"
+
+namespace hermes::transport {
+
+/// Receiver half of a TCP/DCTCP flow: cumulative ACK generation with
+/// per-packet ECN echo (DCTCP-style immediate echo) and an optional
+/// reordering buffer that masks spray-induced reordering (Presto*).
+///
+/// ACKs retrace the data packet's path in reverse at high priority, as the
+/// paper's testbed does for accurate RTT measurement (§4).
+class TcpReceiver {
+ public:
+  using SendFn = std::function<void(net::Packet)>;
+
+  TcpReceiver(sim::Simulator& simulator, net::Topology& topo, lb::LoadBalancer& lb,
+              TcpConfig config, std::uint64_t flow_id, std::int32_t flow_src,
+              std::int32_t flow_dst, SendFn send);
+
+  void on_data(const net::Packet& p);
+
+  [[nodiscard]] std::uint64_t rcv_nxt() const { return rcv_nxt_; }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+  [[nodiscard]] std::uint64_t duplicate_bytes() const { return duplicate_bytes_; }
+
+ private:
+  void send_ack(bool ece, sim::SimTime ts_echo, int path_id, const net::Packet& data);
+  /// Delayed-ACK path for in-order data (DCTCP CE-change flush rule).
+  void schedule_or_flush(const net::Packet& p);
+  void flush_delayed();
+
+  sim::Simulator& simulator_;
+  net::Topology& topo_;
+  lb::LoadBalancer& lb_;
+  TcpConfig config_;
+  std::uint64_t flow_id_;
+  std::int32_t flow_src_;
+  std::int32_t flow_dst_;
+  SendFn send_;
+
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo_;  ///< [seq, end) of buffered data
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t duplicate_bytes_ = 0;
+  std::uint64_t next_ack_id_ = 0;
+
+  // Delayed-ACK state (config_.delayed_ack).
+  std::uint32_t pending_acks_ = 0;
+  bool ce_state_ = false;
+  net::Packet last_data_;  ///< template for the coalesced ACK
+  sim::EventQueue::Handle delack_timer_;
+};
+
+}  // namespace hermes::transport

@@ -1,0 +1,112 @@
+#include "hermes/transport/tcp_receiver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hermes::transport {
+
+TcpReceiver::TcpReceiver(sim::Simulator& simulator, net::Topology& topo, lb::LoadBalancer& lb,
+                         TcpConfig config, std::uint64_t flow_id, std::int32_t flow_src,
+                         std::int32_t flow_dst, SendFn send)
+    : simulator_{simulator},
+      topo_{topo},
+      lb_{lb},
+      config_{config},
+      flow_id_{flow_id},
+      flow_src_{flow_src},
+      flow_dst_{flow_dst},
+      send_{std::move(send)} {}
+
+void TcpReceiver::on_data(const net::Packet& p) {
+  lb_.on_data_arrival(p);
+
+  const std::uint64_t seq = p.seq;
+  const std::uint64_t end = seq + p.payload;
+
+  if (end <= rcv_nxt_) {
+    // Entirely old data (spurious retransmission): re-ACK.
+    duplicate_bytes_ += p.payload;
+    send_ack(p.ce, p.ts_sent, p.path_id, p);
+    return;
+  }
+
+  if (seq <= rcv_nxt_) {
+    // DCTCP delayed ACK: a CE-state flip must flush the pending ACK
+    // *before* the cumulative point advances, so the old-state ACK covers
+    // exactly the bytes received under the old CE state (RFC 8257).
+    if (config_.delayed_ack && pending_acks_ > 0 && p.ce != ce_state_) flush_delayed();
+    // In-order (possibly partially old): advance and merge buffered data.
+    bytes_received_ += end - std::max(seq, rcv_nxt_);
+    rcv_nxt_ = std::max(rcv_nxt_, end);
+    while (!ooo_.empty() && ooo_.begin()->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, ooo_.begin()->second);
+      ooo_.erase(ooo_.begin());
+    }
+    if (config_.delayed_ack) {
+      schedule_or_flush(p);
+    } else {
+      send_ack(p.ce, p.ts_sent, p.path_id, p);
+    }
+    return;
+  }
+
+  // Out of order: buffer it.
+  bytes_received_ += p.payload;
+  auto [it, inserted] = ooo_.emplace(seq, end);
+  if (!inserted) it->second = std::max(it->second, end);
+
+  if (!config_.reorder_buffer) {
+    send_ack(p.ce, p.ts_sent, p.path_id, p);  // immediate duplicate ACK
+    return;
+  }
+  // Reordering mask: hold the ACK briefly. If the gap fills in the
+  // meantime the deferred ACK is cumulative and no dupACK ever appears;
+  // a genuine loss still surfaces as dupACKs after the hold expires.
+  net::Packet cause = p;
+  simulator_.after(config_.reorder_hold, [this, cause] {
+    send_ack(cause.ce, cause.ts_sent, cause.path_id, cause);
+  });
+}
+
+void TcpReceiver::schedule_or_flush(const net::Packet& p) {
+  // (CE flips were already flushed by on_data before rcv_nxt advanced.)
+  ce_state_ = p.ce;
+  last_data_ = p;
+  ++pending_acks_;
+  if (pending_acks_ >= config_.ack_every) {
+    flush_delayed();
+    return;
+  }
+  if (!delack_timer_.pending()) {
+    delack_timer_ = simulator_.timer_after(config_.delack_timeout, [this] { flush_delayed(); });
+  }
+}
+
+void TcpReceiver::flush_delayed() {
+  if (pending_acks_ == 0) return;
+  pending_acks_ = 0;
+  delack_timer_.cancel();
+  send_ack(ce_state_, last_data_.ts_sent, last_data_.path_id, last_data_);
+}
+
+void TcpReceiver::send_ack(bool ece, sim::SimTime ts_echo, int path_id,
+                           const net::Packet& data) {
+  net::Packet ack;
+  ack.id = (flow_id_ << 20) | (0x80000 + next_ack_id_++);
+  ack.flow_id = flow_id_;
+  ack.src = flow_dst_;  // the ACK originates at the flow's destination
+  ack.dst = flow_src_;
+  ack.type = net::PacketType::kAck;
+  ack.size = net::kAckBytes;
+  ack.ack = rcv_nxt_;
+  ack.ece = ece;
+  ack.ect = false;
+  ack.ts_echo = ts_echo;
+  ack.path_id = path_id;
+  ack.priority = 1;  // ACKs ride the high-priority queue (§4)
+  ack.route = topo_.reverse_route(flow_src_, flow_dst_, path_id);
+  lb_.decorate_ack(data, ack);
+  send_(std::move(ack));
+}
+
+}  // namespace hermes::transport

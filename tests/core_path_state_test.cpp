@@ -1,0 +1,206 @@
+// Unit tests for Hermes's sensing state: the Algorithm 1 / Table 5
+// characterization truth table, signal smoothing, and the failure
+// detectors (blackhole handled in core_hermes_test; random drops here).
+
+#include <gtest/gtest.h>
+
+#include "hermes/core/config.hpp"
+#include "hermes/core/path_state.hpp"
+
+namespace hermes::core {
+namespace {
+
+using sim::msec;
+using sim::usec;
+
+HermesConfig test_config() {
+  HermesConfig c;
+  c.t_ecn = 0.40;
+  c.t_rtt_low = usec(60);
+  c.t_rtt_high = usec(180);
+  c.delta_rtt = usec(80);
+  c.delta_ecn = 0.05;
+  return c;
+}
+
+/// Drive the EWMAs to a steady (rtt, ecn_fraction) point.
+void saturate(PathState& st, sim::SimTime rtt, double ecn_frac, const HermesConfig& cfg) {
+  int marked = 0;
+  for (int i = 0; i < 400; ++i) {
+    const bool mark = (marked < ecn_frac * (i + 1));
+    if (mark) ++marked;
+    st.add_sample(rtt, mark, cfg);
+  }
+}
+
+TEST(PathCharacterization, NoSampleIsGray) {
+  PathState st;
+  EXPECT_EQ(st.characterize(test_config()), PathType::kGray);
+  EXPECT_FALSE(st.has_sample());
+}
+
+// Table 5 rows:
+TEST(PathCharacterization, LowEcnLowRttIsGood) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(40), 0.0, cfg);
+  EXPECT_EQ(st.characterize(cfg), PathType::kGood);
+}
+
+TEST(PathCharacterization, HighEcnHighRttIsCongested) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(250), 0.9, cfg);
+  EXPECT_EQ(st.characterize(cfg), PathType::kCongested);
+}
+
+TEST(PathCharacterization, HighEcnLowRttIsGray) {
+  // "Not enough ECN samples or all delay built up at one hop."
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(100), 0.9, cfg);
+  EXPECT_EQ(st.characterize(cfg), PathType::kGray);
+}
+
+TEST(PathCharacterization, LowEcnHighRttIsGray) {
+  // "The network stack incurs high RTT" must not condemn the path.
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(250), 0.0, cfg);
+  EXPECT_EQ(st.characterize(cfg), PathType::kGray);
+}
+
+TEST(PathCharacterization, LowEcnModerateRttIsGray) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(120), 0.1, cfg);
+  EXPECT_EQ(st.characterize(cfg), PathType::kGray);
+}
+
+TEST(PathCharacterization, RttOnlyModeIgnoresEcn) {
+  auto cfg = test_config();
+  cfg.use_ecn = false;  // plain-TCP sensing (§5.4)
+  PathState st;
+  saturate(st, usec(40), 1.0, cfg);  // ECN would say congested
+  EXPECT_EQ(st.characterize(cfg), PathType::kGood);
+  PathState st2;
+  saturate(st2, usec(250), 0.0, cfg);
+  EXPECT_EQ(st2.characterize(cfg), PathType::kCongested);
+}
+
+TEST(PathState, EwmaTracksShift) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(40), 0.0, cfg);
+  EXPECT_EQ(st.characterize(cfg), PathType::kGood);
+  saturate(st, usec(300), 1.0, cfg);
+  EXPECT_EQ(st.characterize(cfg), PathType::kCongested);
+}
+
+TEST(PathState, FirstSampleInitializesDirectly) {
+  auto cfg = test_config();
+  PathState st;
+  st.add_sample(usec(123), true, cfg);
+  EXPECT_EQ(st.rtt(), usec(123));
+  EXPECT_DOUBLE_EQ(st.ecn_fraction(), 1.0);
+}
+
+TEST(RandomDropDetector, LatchesOnSustainedRetransmissions) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(40), 0.0, cfg);  // path looks good (not congested)
+  sim::SimTime t{};
+  // Two epochs of 2% retransmission rate with enough samples.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (int i = 0; i < 200; ++i) st.add_send(1500, t, cfg);
+    for (int i = 0; i < 4; ++i) st.add_retransmit(t, cfg);
+    t += cfg.retx_epoch + usec(1);
+    st.roll_epoch(t, cfg);
+  }
+  EXPECT_TRUE(st.failed());
+  EXPECT_EQ(st.characterize(cfg), PathType::kFailed);
+}
+
+TEST(RandomDropDetector, CongestionExplainsRetransmissions) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(300), 0.9, cfg);  // genuinely congested
+  sim::SimTime t{};
+  for (int i = 0; i < 200; ++i) st.add_send(1500, t, cfg);
+  for (int i = 0; i < 10; ++i) st.add_retransmit(t, cfg);
+  t += cfg.retx_epoch + usec(1);
+  st.roll_epoch(t, cfg);
+  EXPECT_FALSE(st.failed());  // lines 8-9: congested paths are excluded
+}
+
+TEST(RandomDropDetector, TooFewSamplesDoNotLatch) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(40), 0.0, cfg);
+  sim::SimTime t{};
+  for (int i = 0; i < 10; ++i) st.add_send(1500, t, cfg);  // < kMinEpochSends
+  st.add_retransmit(t, cfg);                               // 10% rate but n=10
+  t += cfg.retx_epoch + usec(1);
+  st.roll_epoch(t, cfg);
+  EXPECT_FALSE(st.failed());
+}
+
+TEST(RandomDropDetector, CleanEpochsDoNotLatch) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(40), 0.0, cfg);
+  sim::SimTime t{};
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (int i = 0; i < 500; ++i) st.add_send(1500, t, cfg);
+    st.add_retransmit(t, cfg);  // 0.2% — below the 1% threshold
+    t += cfg.retx_epoch + usec(1);
+    st.roll_epoch(t, cfg);
+  }
+  EXPECT_FALSE(st.failed());
+}
+
+TEST(RandomDropDetector, FailureSensingToggleDisablesIt) {
+  auto cfg = test_config();
+  cfg.failure_sensing = false;
+  PathState st;
+  saturate(st, usec(40), 0.0, cfg);
+  sim::SimTime t{};
+  for (int i = 0; i < 200; ++i) st.add_send(1500, t, cfg);
+  for (int i = 0; i < 20; ++i) st.add_retransmit(t, cfg);
+  t += cfg.retx_epoch + usec(1);
+  st.roll_epoch(t, cfg);
+  EXPECT_FALSE(st.failed());
+}
+
+TEST(PathState, FailureCanBeCleared) {
+  PathState st;
+  st.fail(usec(1));
+  EXPECT_TRUE(st.failed());
+  st.clear_failure();
+  EXPECT_FALSE(st.failed());
+}
+
+TEST(PathState, RateDreAccumulatesSends) {
+  auto cfg = test_config();
+  PathState st;
+  sim::SimTime t{};
+  for (int i = 0; i < 1000; ++i) {
+    st.add_send(1500, t, cfg);
+    t += sim::nsec(1200);  // 10Gbps pacing
+  }
+  EXPECT_NEAR(st.rate_bps(t), 10e9, 2e9);
+}
+
+TEST(HermesConfigDefaults, DerivedFromTopology) {
+  sim::Simulator simulator{1};
+  net::Topology topo{simulator, net::TopologyConfig{}};
+  const auto cfg = HermesConfig::defaults_for(topo);
+  // one-hop delay at 10G/65pkts is 78us -> T_RTT_high ~= base + 117us.
+  EXPECT_GT(cfg.t_rtt_high, cfg.t_rtt_low);
+  EXPECT_NEAR(cfg.delta_rtt.to_usec(), 78.0, 1.0);
+  EXPECT_NEAR((cfg.t_rtt_high - topo.base_rtt()).to_usec(), 117.0, 2.0);
+  EXPECT_NEAR((cfg.t_rtt_low - topo.base_rtt()).to_usec(), 30.0, 0.1);
+}
+
+}  // namespace
+}  // namespace hermes::core
