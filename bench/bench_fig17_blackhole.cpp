@@ -33,10 +33,11 @@ int main(int argc, char** argv) {
   for (double load : loads) {
     std::printf("[load %.1f, %d flows, blackhole at spine %d]\n", load, flows, failed_spine);
     stats::Table t({"scheme", "avg FCT (incl. unfinished)", "unfinished", "affected-pair avg",
-                    "norm. to Hermes"});
+                    "bh drops", "norm. to Hermes"});
     double hermes = 1;
     struct Cell {
       double mean, unfinished, affected;
+      std::uint64_t bh_drops;
     };
     std::vector<Cell> cells;
     for (Scheme scheme : schemes) {
@@ -58,7 +59,13 @@ int main(int argc, char** argv) {
                  },
              .random_drop_rate = 0.0});
       };
-      auto fct = bench::skip_warmup(bench::run_cell(cfg, ws, load, flows, 1, install),
+      // Fewer blackhole drops = the scheme stopped feeding the dead
+      // paths (Hermes latches after 3 timeouts; CONGA keeps feeding).
+      std::uint64_t bh_drops = 0;
+      auto harvest = [&](harness::Scenario& s) {
+        bh_drops = s.topology().spine(failed_spine).blackhole_drops();
+      };
+      auto fct = bench::skip_warmup(bench::run_cell(cfg, ws, load, flows, 1, install, harvest),
                                     static_cast<std::uint64_t>(warmup));
       // Affected-pair breakdown: the collector has no src/dst, so
       // approximate the affected set by the slowest 2% of flows
@@ -74,14 +81,14 @@ int main(int argc, char** argv) {
           ++affected_n;
         }
       Cell c{fct.overall_with_unfinished().mean_us, fct.unfinished_fraction(),
-             affected_n ? affected_sum / affected_n : 0};
+             affected_n ? affected_sum / affected_n : 0, bh_drops};
       cells.push_back(c);
       if (scheme == Scheme::kHermes) hermes = c.mean;
     }
     for (std::size_t i = 0; i < cells.size(); ++i) {
       t.add_row({bench::short_name(schemes[i]), stats::Table::usec(cells[i].mean),
                  stats::Table::pct(cells[i].unfinished, 2), stats::Table::usec(cells[i].affected),
-                 stats::Table::num(cells[i].mean / hermes, 2)});
+                 std::to_string(cells[i].bh_drops), stats::Table::num(cells[i].mean / hermes, 2)});
     }
     t.print();
     std::printf("\n");

@@ -114,10 +114,13 @@ inline stats::FctCollector skip_warmup(const stats::FctCollector& in, std::uint6
 }
 
 /// Run one (scheme, workload, load) cell. `prepare` can install failures
-/// or traces on the built scenario before traffic starts.
+/// or traces on the built scenario before traffic starts; `finish` runs
+/// after the simulation so callers can harvest scenario-side state
+/// (e.g. per-reason drop counters) that dies with the Scenario.
 inline stats::FctCollector run_cell(harness::ScenarioConfig cfg, const workload::SizeDist& dist,
                                     double load, int num_flows, std::uint64_t seed,
-                                    const std::function<void(harness::Scenario&)>& prepare = {}) {
+                                    const std::function<void(harness::Scenario&)>& prepare = {},
+                                    const std::function<void(harness::Scenario&)>& finish = {}) {
   cfg.seed = seed;
   harness::Scenario s{std::move(cfg)};
   if (prepare) prepare(s);
@@ -126,7 +129,9 @@ inline stats::FctCollector run_cell(harness::ScenarioConfig cfg, const workload:
   tc.num_flows = num_flows;
   tc.seed = seed;
   s.add_flows(workload::generate_poisson_traffic(s.topology(), dist, tc));
-  return s.run();
+  auto fct = s.run();
+  if (finish) finish(s);
+  return fct;
 }
 
 inline const char* short_name(harness::Scheme s) { return harness::to_string(s); }

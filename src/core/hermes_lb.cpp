@@ -31,11 +31,36 @@ PathType HermesLb::path_type(int src_leaf, int dst_leaf, int local_index) {
   return pair(src_leaf, dst_leaf).paths[local_index].characterize(config_);
 }
 
+bool HermesLb::hole_active(HoleTrack& track, sim::SimTime now) const {
+  if (track.latched && config_.failure_expiry > sim::SimTime::zero()) {
+    const auto expiry = sim::SimTime::nanoseconds(
+        config_.failure_expiry.ns() << (track.streak > 0 ? track.streak - 1 : 0));
+    if (now - track.latched_at > expiry) {
+      // Heal: the detector must re-accumulate blackhole_timeouts fresh
+      // timeouts to re-latch; the streak is kept so a genuinely broken
+      // path re-latches with a doubled expiry (up to 128x).
+      track.latched = false;
+      track.timeouts = 0;
+    }
+  }
+  return track.latched;
+}
+
 bool HermesLb::blackholed(std::int32_t src_host, std::int32_t dst_host, int local_index) const {
   const int a = topo_.leaf_of(src_host);
   const int b = topo_.leaf_of(dst_host);
   const PairState& ps = pairs_[static_cast<std::size_t>(a) * num_leaves_ + b];
-  return ps.blackholed.contains(hole_key(src_host, dst_host, local_index));
+  const auto it = ps.hole_track.find(hole_key(src_host, dst_host, local_index));
+  if (it == ps.hole_track.end() || !it->second.latched) return false;
+  // Same expiry rule as hole_active, evaluated without mutating (const
+  // introspection must not disturb detector state).
+  if (config_.failure_expiry > sim::SimTime::zero()) {
+    const HoleTrack& t = it->second;
+    const auto expiry = sim::SimTime::nanoseconds(
+        config_.failure_expiry.ns() << (t.streak > 0 ? t.streak - 1 : 0));
+    if (simulator_.now() - t.latched_at > expiry) return false;
+  }
+  return true;
 }
 
 int HermesLb::sampled_paths(int src_leaf, int dst_leaf) {
@@ -48,12 +73,13 @@ int HermesLb::sampled_paths(int src_leaf, int dst_leaf) {
 
 bool HermesLb::failed_for_flow(PairState& ps, const lb::FlowCtx& flow, int local_idx) {
   if (ps.paths[local_idx].failed_active(simulator_.now(), config_)) return true;
-  return ps.blackholed.contains(hole_key(flow.src, flow.dst, local_idx));
+  const auto it = ps.hole_track.find(hole_key(flow.src, flow.dst, local_idx));
+  if (it == ps.hole_track.end()) return false;
+  return hole_active(it->second, simulator_.now());
 }
 
 int HermesLb::pick_fresh(PairState& ps, const std::vector<net::FabricPath>& paths,
                          const lb::FlowCtx& flow) {
-  const sim::SimTime now = simulator_.now();
   // Lines 4-6: good paths, least local sending rate r_p first.
   // Lines 8-10: otherwise gray paths the same way. Near-equal rates are
   // tie-broken randomly so concurrent senders do not herd onto one path.
@@ -181,13 +207,19 @@ void HermesLb::on_timeout(lb::FlowCtx& flow) {
   // deterministically drops this pair's packets.
   const int li = topo_.path(flow.current_path).local_index;
   PairState& ps = pair(flow.src_leaf, flow.dst_leaf);
-  // Only timeouts with zero ACK progress in this visit are evidence of a
-  // hole; a timeout after progress is congestion.
-  if (flow.acked_on_path > 0) return;
+  // Every timeout is evidence; ACK progress on the (pair, path) resets
+  // the count (on_ack), so only *consecutive* timeouts without an ACK in
+  // between reach the threshold. Earlier progress on the path must not
+  // veto detection — a blackhole can onset mid-flow (TCAM corruption on
+  // a previously healthy switch) and the path has to re-prove itself.
   HoleTrack& track = ps.hole_track[hole_key(flow.src, flow.dst, li)];
   track.acked = false;
-  if (++track.timeouts >= config_.blackhole_timeouts && !track.acked) {
-    ps.blackholed.insert(hole_key(flow.src, flow.dst, li));
+  if (++track.timeouts >= config_.blackhole_timeouts) {
+    if (!track.latched && track.streak < 8) ++track.streak;
+    track.latched = true;
+    // Each confirming timeout refreshes the latch; a cleared blackhole
+    // stops producing timeouts and the latch expires (see hole_active).
+    track.latched_at = simulator_.now();
   }
 }
 

@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "hermes/core/config.hpp"
@@ -65,19 +64,25 @@ class HermesLb final : public lb::LoadBalancer {
   [[nodiscard]] int sampled_paths(int src_leaf, int dst_leaf);
 
  private:
+  /// Timeout/ACK bookkeeping per (src,dst,path) feeding the blackhole
+  /// detector (Table 3's per-path n_timeout, kept per host pair since a
+  /// blackhole matches specific header patterns). Aggregated across
+  /// flows: one flow reroutes away after a single timeout, but the
+  /// pair's traffic keeps revisiting the path and the count accrues.
+  /// The latch heals the same way PathState's random-drop latch does:
+  /// it expires after failure_expiry without fresh evidence, and each
+  /// re-confirmation doubles the expiry (streak capped at 8 => 128x), so
+  /// a transient blackhole releases the path soon after it clears.
   struct HoleTrack {
     std::uint32_t timeouts = 0;
     bool acked = false;
+    bool latched = false;
+    sim::SimTime latched_at{};
+    std::uint32_t streak = 0;
   };
   struct PairState {
     std::vector<PathState> paths;
     int best_idx = -1;  ///< previously observed best path (probed extra)
-    std::unordered_set<std::uint64_t> blackholed;  ///< (src,dst,path) keys
-    /// Timeout/ACK bookkeeping per (src,dst,path) feeding the blackhole
-    /// detector (Table 3's per-path n_timeout, kept per host pair since a
-    /// blackhole matches specific header patterns). Aggregated across
-    /// flows: one flow reroutes away after a single timeout, but the
-    /// pair's traffic keeps revisiting the path and the count accrues.
     std::unordered_map<std::uint64_t, HoleTrack> hole_track;
   };
 
@@ -88,6 +93,8 @@ class HermesLb final : public lb::LoadBalancer {
   }
 
   PairState& pair(int src_leaf, int dst_leaf);
+  /// Is the hole latch live (expiring it in place when stale)?
+  [[nodiscard]] bool hole_active(HoleTrack& track, sim::SimTime now) const;
   /// Algorithm 2 lines 3-12: initial placement / failure escape.
   int pick_fresh(PairState& ps, const std::vector<net::FabricPath>& paths,
                  const lb::FlowCtx& flow);

@@ -1,0 +1,139 @@
+#include "hermes/faults/fault_plan.hpp"
+
+namespace hermes::faults {
+
+const char* to_string(FaultAction a) {
+  switch (a) {
+    case FaultAction::kBlackholeOn: return "blackhole-on";
+    case FaultAction::kBlackholeOff: return "blackhole-off";
+    case FaultAction::kRandomDropSet: return "random-drop";
+    case FaultAction::kLinkDown: return "link-down";
+    case FaultAction::kLinkUp: return "link-up";
+    case FaultAction::kLinkRate: return "link-rate";
+  }
+  return "?";
+}
+
+std::function<bool(const net::Packet&)> rack_pair_blackhole(int hosts_per_leaf, int src_leaf,
+                                                            int dst_leaf, bool half_pairs) {
+  return [=](const net::Packet& p) {
+    if (p.type != net::PacketType::kData) return false;
+    if (p.src / hosts_per_leaf != src_leaf || p.dst / hosts_per_leaf != dst_leaf) return false;
+    if (!half_pairs) return true;
+    // "Half of the source-destination IP pairs": deterministic per header
+    // pattern, like a corrupted TCAM entry.
+    return lb::mix64(static_cast<std::uint64_t>(p.src) * 4096 +
+                     static_cast<std::uint64_t>(p.dst)) %
+               2 ==
+           0;
+  };
+}
+
+FaultPlan& FaultPlan::blackhole_on(sim::SimTime at, int switch_id,
+                                   std::function<bool(const net::Packet&)> pred,
+                                   SwitchTier tier, std::string note) {
+  FaultEvent e;
+  e.at = at;
+  e.action = FaultAction::kBlackholeOn;
+  e.tier = tier;
+  e.switch_id = switch_id;
+  e.blackhole = std::move(pred);
+  e.note = std::move(note);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::blackhole_off(sim::SimTime at, int switch_id, SwitchTier tier,
+                                    std::string note) {
+  FaultEvent e;
+  e.at = at;
+  e.action = FaultAction::kBlackholeOff;
+  e.tier = tier;
+  e.switch_id = switch_id;
+  e.note = std::move(note);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::random_drop(sim::SimTime at, int switch_id, double rate, SwitchTier tier,
+                                  std::string note) {
+  FaultEvent e;
+  e.at = at;
+  e.action = FaultAction::kRandomDropSet;
+  e.tier = tier;
+  e.switch_id = switch_id;
+  e.rate = rate;
+  e.note = std::move(note);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::link_down(sim::SimTime at, int leaf, int spine, int k, std::string note) {
+  FaultEvent e;
+  e.at = at;
+  e.action = FaultAction::kLinkDown;
+  e.link = {leaf, spine, k};
+  e.note = std::move(note);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::link_up(sim::SimTime at, int leaf, int spine, int k, std::string note) {
+  FaultEvent e;
+  e.at = at;
+  e.action = FaultAction::kLinkUp;
+  e.link = {leaf, spine, k};
+  e.note = std::move(note);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::link_rate(sim::SimTime at, int leaf, int spine, double bps, int k,
+                                std::string note) {
+  FaultEvent e;
+  e.at = at;
+  e.action = FaultAction::kLinkRate;
+  e.link = {leaf, spine, k};
+  e.rate = bps;
+  e.note = std::move(note);
+  return add(std::move(e));
+}
+
+FaultPlan& FaultPlan::transient_blackhole(sim::SimTime on, sim::SimTime off, int switch_id,
+                                          std::function<bool(const net::Packet&)> pred,
+                                          SwitchTier tier) {
+  blackhole_on(on, switch_id, std::move(pred), tier, "transient onset");
+  return blackhole_off(off, switch_id, tier, "transient recovery");
+}
+
+FaultPlan& FaultPlan::transient_random_drop(sim::SimTime on, sim::SimTime off, int switch_id,
+                                            double rate, SwitchTier tier) {
+  random_drop(on, switch_id, rate, tier, "transient onset");
+  return random_drop(off, switch_id, 0.0, tier, "transient recovery");
+}
+
+FaultPlan& FaultPlan::flap_random_drop(sim::SimTime start, int switch_id, double rate,
+                                       sim::SimTime period, int count, double duty,
+                                       SwitchTier tier) {
+  for (int i = 0; i < count; ++i) {
+    const sim::SimTime on = start + sim::SimTime::nanoseconds(period.ns() * i);
+    const sim::SimTime off =
+        on + sim::SimTime::nanoseconds(static_cast<std::int64_t>(period.ns() * duty));
+    transient_random_drop(on, off, switch_id, rate, tier);
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap_link(sim::SimTime start, int leaf, int spine, sim::SimTime period,
+                                int count, double duty, int k) {
+  for (int i = 0; i < count; ++i) {
+    const sim::SimTime down = start + sim::SimTime::nanoseconds(period.ns() * i);
+    const sim::SimTime up =
+        down + sim::SimTime::nanoseconds(static_cast<std::int64_t>(period.ns() * duty));
+    link_down(down, leaf, spine, k, "flap");
+    link_up(up, leaf, spine, k, "flap");
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  return *this;
+}
+
+}  // namespace hermes::faults

@@ -1,0 +1,86 @@
+#include "hermes/faults/fault_scheduler.hpp"
+
+#include <utility>
+
+namespace hermes::faults {
+
+namespace {
+net::Switch& target_switch(net::Topology& topo, const FaultEvent& e) {
+  return e.tier == SwitchTier::kLeaf ? topo.leaf(e.switch_id) : topo.spine(e.switch_id);
+}
+}  // namespace
+
+FaultScheduler::FaultScheduler(sim::Simulator& simulator, net::Topology& topo)
+    : simulator_{simulator}, topo_{topo} {}
+
+void FaultScheduler::install(const FaultPlan& plan) {
+  for (const FaultEvent& e : plan.sorted()) {
+    ++installed_;
+    simulator_.at(e.at, [this, e] { apply(e); });
+  }
+}
+
+void FaultScheduler::apply(const FaultEvent& e) {
+  switch (e.action) {
+    case FaultAction::kBlackholeOn: {
+      net::Switch& sw = target_switch(topo_, e);
+      if (!sw.failure().blackhole) ++active_;  // replacing a hole is not a new fault
+      sw.set_blackhole(e.blackhole);
+      break;
+    }
+    case FaultAction::kBlackholeOff: {
+      net::Switch& sw = target_switch(topo_, e);
+      if (sw.failure().blackhole) --active_;
+      sw.clear_blackhole();
+      break;
+    }
+    case FaultAction::kRandomDropSet: {
+      net::Switch& sw = target_switch(topo_, e);
+      const double prev = sw.failure().random_drop_rate;
+      if (prev <= 0.0 && e.rate > 0.0) ++active_;
+      if (prev > 0.0 && e.rate <= 0.0) --active_;
+      sw.set_random_drop_rate(e.rate);
+      break;
+    }
+    case FaultAction::kLinkDown: {
+      if (topo_.leaf_uplink(e.link.leaf, e.link.spine, e.link.k).link_up()) ++active_;
+      topo_.set_link_state(e.link.leaf, e.link.spine, false, e.link.k);
+      break;
+    }
+    case FaultAction::kLinkUp: {
+      if (!topo_.leaf_uplink(e.link.leaf, e.link.spine, e.link.k).link_up()) --active_;
+      topo_.set_link_state(e.link.leaf, e.link.spine, true, e.link.k);
+      break;
+    }
+    case FaultAction::kLinkRate: {
+      const double nominal = topo_.configured_link_rate(e.link.leaf, e.link.spine, e.link.k);
+      const double prev =
+          topo_.leaf_uplink(e.link.leaf, e.link.spine, e.link.k).config().rate_bps;
+      if (prev >= nominal && e.rate < nominal) ++active_;
+      if (prev < nominal && e.rate >= nominal) --active_;
+      topo_.set_link_rate(e.link.leaf, e.link.spine, e.rate, e.link.k);
+      break;
+    }
+  }
+  log_.push_back({simulator_.now(), e.action, describe(e)});
+  if (on_transition) on_transition(e);
+}
+
+std::string FaultScheduler::describe(const FaultEvent& e) {
+  std::string s = to_string(e.action);
+  if (e.action == FaultAction::kBlackholeOn || e.action == FaultAction::kBlackholeOff ||
+      e.action == FaultAction::kRandomDropSet) {
+    s += e.tier == SwitchTier::kLeaf ? " leaf" : " spine";
+    s += std::to_string(e.switch_id);
+    if (e.action == FaultAction::kRandomDropSet)
+      s += " rate=" + std::to_string(e.rate);
+  } else {
+    s += " leaf" + std::to_string(e.link.leaf) + "<->spine" + std::to_string(e.link.spine) +
+         "/" + std::to_string(e.link.k);
+    if (e.action == FaultAction::kLinkRate) s += " bps=" + std::to_string(e.rate);
+  }
+  if (!e.note.empty()) s += " (" + e.note + ")";
+  return s;
+}
+
+}  // namespace hermes::faults

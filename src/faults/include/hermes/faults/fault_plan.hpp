@@ -1,0 +1,130 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hermes/lb/flow_ctx.hpp"
+#include "hermes/net/packet.hpp"
+#include "hermes/sim/time.hpp"
+
+namespace hermes::faults {
+
+/// What a timed fault event does to the fabric. Onset and recovery are
+/// both plain events, so a plan expresses transient faults (blackhole at
+/// t1, clear at t2), permanent ones (onset only), and flap trains.
+enum class FaultAction : std::uint8_t {
+  kBlackholeOn,    ///< install a blackhole predicate on a switch
+  kBlackholeOff,   ///< remove the switch's blackhole predicate
+  kRandomDropSet,  ///< set the switch's silent random-drop rate (0 clears)
+  kLinkDown,       ///< cut a leaf<->spine link (both directions)
+  kLinkUp,         ///< restore a cut link
+  kLinkRate,       ///< set a link's capacity (degrade or restore)
+};
+
+[[nodiscard]] const char* to_string(FaultAction a);
+
+/// Which switch tier a switch-targeted event hits.
+enum class SwitchTier : std::uint8_t { kLeaf, kSpine };
+
+/// A leaf<->spine link, identified the same way TopologyConfig overrides
+/// are: (leaf, spine, parallel index).
+struct LinkRef {
+  int leaf = -1;
+  int spine = -1;
+  int k = 0;
+};
+
+/// One timed fault transition. Built via the FaultPlan helpers below;
+/// executed by the FaultScheduler through the simulator's event queue.
+struct FaultEvent {
+  sim::SimTime at{};
+  FaultAction action = FaultAction::kRandomDropSet;
+
+  // Switch-targeted events (blackhole / random drop).
+  SwitchTier tier = SwitchTier::kSpine;
+  int switch_id = -1;
+  std::function<bool(const net::Packet&)> blackhole;  ///< kBlackholeOn only
+
+  // Link-targeted events.
+  LinkRef link;
+  double rate = 0.0;  ///< drop rate (kRandomDropSet) or bps (kLinkRate)
+
+  std::string note;  ///< free-form label carried into the scheduler log
+};
+
+/// Reusable blackhole predicate matching the paper's §5.3.3 setup: data
+/// packets between two racks, optionally only half of the host pairs
+/// (a TCAM-corruption pattern — deterministic per header, not random).
+[[nodiscard]] std::function<bool(const net::Packet&)> rack_pair_blackhole(
+    int hosts_per_leaf, int src_leaf, int dst_leaf, bool half_pairs = false);
+
+/// An ordered list of timed FaultEvents. The builder methods return *this
+/// so plans read as a timeline:
+///
+///   faults::FaultPlan plan;
+///   plan.random_drop(sim::msec(10), spine, 0.02)
+///       .random_drop(sim::msec(200), spine, 0.0)     // recovery
+///       .link_down(sim::msec(50), 1, 3)
+///       .link_up(sim::msec(120), 1, 3);
+class FaultPlan {
+ public:
+  FaultPlan& add(FaultEvent e) {
+    events_.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Install `pred` as the switch's blackhole at `at`.
+  FaultPlan& blackhole_on(sim::SimTime at, int switch_id,
+                          std::function<bool(const net::Packet&)> pred,
+                          SwitchTier tier = SwitchTier::kSpine, std::string note = {});
+  /// Remove the switch's blackhole at `at`.
+  FaultPlan& blackhole_off(sim::SimTime at, int switch_id,
+                           SwitchTier tier = SwitchTier::kSpine, std::string note = {});
+  /// Set the switch's silent random-drop rate at `at` (0 heals it).
+  FaultPlan& random_drop(sim::SimTime at, int switch_id, double rate,
+                         SwitchTier tier = SwitchTier::kSpine, std::string note = {});
+  /// Cut / restore / re-rate a leaf<->spine link (both directions).
+  FaultPlan& link_down(sim::SimTime at, int leaf, int spine, int k = 0, std::string note = {});
+  FaultPlan& link_up(sim::SimTime at, int leaf, int spine, int k = 0, std::string note = {});
+  FaultPlan& link_rate(sim::SimTime at, int leaf, int spine, double bps, int k = 0,
+                       std::string note = {});
+
+  /// Blackhole active on [on, off): the transient-failure scenario the
+  /// resilience scorecard is built around.
+  FaultPlan& transient_blackhole(sim::SimTime on, sim::SimTime off, int switch_id,
+                                 std::function<bool(const net::Packet&)> pred,
+                                 SwitchTier tier = SwitchTier::kSpine);
+  /// Random-drop rate active on [on, off).
+  FaultPlan& transient_random_drop(sim::SimTime on, sim::SimTime off, int switch_id,
+                                   double rate, SwitchTier tier = SwitchTier::kSpine);
+  /// A flap train: `count` on/off cycles starting at `start`, each cycle
+  /// `period` long with the fault active for the first `duty` fraction.
+  FaultPlan& flap_random_drop(sim::SimTime start, int switch_id, double rate,
+                              sim::SimTime period, int count, double duty = 0.5,
+                              SwitchTier tier = SwitchTier::kSpine);
+  FaultPlan& flap_link(sim::SimTime start, int leaf, int spine, sim::SimTime period,
+                       int count, double duty = 0.5, int k = 0);
+
+  /// Append every event of another plan (composing generated + scripted).
+  FaultPlan& merge(const FaultPlan& other);
+
+  /// Events sorted by time (stable: insertion order breaks ties).
+  [[nodiscard]] std::vector<FaultEvent> sorted() const {
+    std::vector<FaultEvent> out = events_;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    return out;
+  }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace hermes::faults

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hermes/faults/fault_plan.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/simulator.hpp"
+
+namespace hermes::faults {
+
+/// One executed fault transition, for post-run reporting.
+struct AppliedFault {
+  sim::SimTime at{};
+  FaultAction action{};
+  std::string what;
+};
+
+/// Executes a FaultPlan against a live fabric: every event is posted on
+/// the simulator's event queue and, when it fires, drives the Switch /
+/// Topology runtime mutators. The scheduler is the single writer of
+/// injected-fault state, so experiments can ask it what is currently
+/// broken (`active_faults()`) and subscribe to transitions
+/// (`on_transition`, which the InvariantChecker uses to run its checks
+/// right after every fault boundary).
+class FaultScheduler {
+ public:
+  FaultScheduler(sim::Simulator& simulator, net::Topology& topo);
+
+  /// Schedule every event of `plan`. Events timed in the past (relative
+  /// to the simulator clock) fire on the next queue pop. May be called
+  /// multiple times; plans accumulate.
+  void install(const FaultPlan& plan);
+
+  /// Fired after each event has been applied to the fabric.
+  std::function<void(const FaultEvent&)> on_transition;
+
+  [[nodiscard]] const std::vector<AppliedFault>& log() const { return log_; }
+  [[nodiscard]] std::size_t applied() const { return log_.size(); }
+  [[nodiscard]] std::size_t pending() const { return installed_ - log_.size(); }
+  /// Number of fault conditions currently active (onsets minus clears);
+  /// 0 means the fabric is nominally healthy again.
+  [[nodiscard]] int active_faults() const { return active_; }
+
+ private:
+  void apply(const FaultEvent& e);
+  [[nodiscard]] static std::string describe(const FaultEvent& e);
+
+  sim::Simulator& simulator_;
+  net::Topology& topo_;
+  std::vector<AppliedFault> log_;
+  std::size_t installed_ = 0;
+  int active_ = 0;
+};
+
+}  // namespace hermes::faults

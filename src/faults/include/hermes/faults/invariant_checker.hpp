@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hermes/faults/fault_plan.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/simulator.hpp"
+
+namespace hermes::faults {
+
+/// A broken invariant, with the simulated time it was observed.
+struct InvariantViolation {
+  sim::SimTime at{};
+  std::string what;
+};
+
+struct InvariantCheckerConfig {
+  /// Periodic sweep interval; zero disables the periodic check (checks
+  /// then run only at fault transitions and explicit check_now calls).
+  sim::SimTime period = sim::msec(5);
+  /// A flow with zero ACK progress for this long counts as stuck. Not a
+  /// violation — faults legitimately stall flows — but the count feeds
+  /// the resilience scorecard ("who strands flows, for how long").
+  sim::SimTime stuck_after = sim::msec(50);
+  bool check_queue_bounds = true;
+};
+
+/// A flow's ACK progress, snapshotted by the harness for the watchdog.
+struct FlowProgress {
+  std::uint64_t id = 0;
+  std::uint64_t bytes_acked = 0;
+};
+
+/// Runtime invariant checking over a live fabric. Installed once after
+/// the topology and host stacks are built, it wraps the per-port and
+/// per-host observer hooks to maintain global packet/byte accounting and
+/// asserts, at every fault transition and periodically:
+///
+///   1. Byte conservation — every byte a host NIC accepted is delivered
+///      to a host, dropped (queue, link-down, or injected switch
+///      failure), or still in flight (queued or propagating). Silent
+///      fault injectors must not make bytes vanish from the accounting.
+///   2. Bounded queues — no drop-tail queue exceeds its configured
+///      capacity; shared-buffer switches never exceed their pool.
+///   3. Stuck-flow watchdog — counts active flows with no ACK progress
+///      for `stuck_after` (scorecard metric, not a violation).
+///
+/// Hard violations accumulate in `violations()`; a clean run has
+/// `ok() == true`. Note the checker chains onto Port::on_drop /
+/// Port::on_enqueue / Host::on_receive — code that *overwrites* (rather
+/// than chains) those hooks after installation breaks the accounting.
+class InvariantChecker {
+ public:
+  InvariantChecker(sim::Simulator& simulator, net::Topology& topo,
+                   InvariantCheckerConfig config = {});
+
+  /// Wire the flow-progress source (the harness snapshots active senders).
+  void set_flow_snapshot(std::function<std::vector<FlowProgress>()> fn) {
+    snapshot_fn_ = std::move(fn);
+  }
+
+  /// Run every invariant check right now (also advances the watchdog).
+  void check_now(const char* context);
+  /// FaultScheduler::on_transition target: re-checks invariants at the
+  /// fault boundary and advances the stuck-flow watchdog.
+  void on_fault_transition(const FaultEvent& e);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+
+  // --- accounting (network-level, cumulative) ---------------------------
+  [[nodiscard]] std::uint64_t injected_bytes() const { return injected_bytes_; }
+  [[nodiscard]] std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  /// All drops: queue overflow + link-down + injected switch failures.
+  [[nodiscard]] std::uint64_t dropped_bytes() const;
+  /// Bytes currently queued at or propagating on any port.
+  [[nodiscard]] std::uint64_t in_flight_bytes() const;
+  [[nodiscard]] std::uint64_t injected_packets() const { return injected_packets_; }
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
+
+  // --- watchdog ---------------------------------------------------------
+  /// Flows stuck (no ACK progress for >= stuck_after) at the last check.
+  [[nodiscard]] std::size_t stuck_flows() const { return stuck_flows_; }
+  /// High-water mark of stuck flows over the whole run.
+  [[nodiscard]] std::size_t max_stuck_flows() const { return max_stuck_flows_; }
+
+ private:
+  void install_hooks();
+  void tick();
+  void update_watchdog();
+  void check_conservation(const char* context);
+  void check_queue_bounds(const char* context);
+  template <typename Fn>
+  void for_each_port(Fn&& fn) const;
+  void violation(const std::string& what);
+
+  sim::Simulator& simulator_;
+  net::Topology& topo_;
+  InvariantCheckerConfig config_;
+  std::function<std::vector<FlowProgress>()> snapshot_fn_;
+
+  std::uint64_t injected_packets_ = 0;
+  std::uint64_t injected_bytes_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t hook_dropped_packets_ = 0;
+  std::uint64_t hook_dropped_bytes_ = 0;
+
+  struct Progress {
+    std::uint64_t bytes = 0;
+    sim::SimTime since{};
+  };
+  std::unordered_map<std::uint64_t, Progress> progress_;
+  std::size_t stuck_flows_ = 0;
+  std::size_t max_stuck_flows_ = 0;
+
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace hermes::faults

@@ -1,0 +1,163 @@
+#include "hermes/faults/invariant_checker.hpp"
+
+#include <utility>
+
+namespace hermes::faults {
+
+InvariantChecker::InvariantChecker(sim::Simulator& simulator, net::Topology& topo,
+                                   InvariantCheckerConfig config)
+    : simulator_{simulator}, topo_{topo}, config_{config} {
+  install_hooks();
+  if (config_.period > sim::SimTime::zero()) {
+    simulator_.after(config_.period, [this] { tick(); });
+  }
+}
+
+template <typename Fn>
+void InvariantChecker::for_each_port(Fn&& fn) const {
+  for (int h = 0; h < topo_.num_hosts(); ++h) fn(topo_.host(h).nic());
+  for (int l = 0; l < topo_.config().num_leaves; ++l) {
+    net::Switch& sw = topo_.leaf(l);
+    for (int p = 0; p < sw.num_ports(); ++p) fn(sw.port(p));
+  }
+  for (int s = 0; s < topo_.config().num_spines; ++s) {
+    net::Switch& sw = topo_.spine(s);
+    for (int p = 0; p < sw.num_ports(); ++p) fn(sw.port(p));
+  }
+}
+
+void InvariantChecker::install_hooks() {
+  // Ingress: every byte the fabric accepts enters through a host NIC
+  // (data, ACKs, probes, probe replies alike). A NIC drop still counts as
+  // injected — the byte entered the accounting and left it as a drop.
+  for (int h = 0; h < topo_.num_hosts(); ++h) {
+    net::Port& nic = topo_.host(h).nic();
+    auto prev_enq = std::move(nic.on_enqueue);
+    nic.on_enqueue = [this, prev = std::move(prev_enq)](const net::Packet& p) {
+      ++injected_packets_;
+      injected_bytes_ += p.size;
+      if (prev) prev(p);
+    };
+    auto prev_drop = std::move(nic.on_drop);
+    nic.on_drop = [this, prev = std::move(prev_drop)](const net::Packet& p) {
+      ++injected_packets_;
+      injected_bytes_ += p.size;
+      ++hook_dropped_packets_;
+      hook_dropped_bytes_ += p.size;
+      if (prev) prev(p);
+    };
+    // Egress: delivery back to a host.
+    net::Host& host = topo_.host(h);
+    auto prev_rx = std::move(host.on_receive);
+    host.on_receive = [this, prev = std::move(prev_rx)](net::Packet p, int in_port) {
+      ++delivered_packets_;
+      delivered_bytes_ += p.size;
+      if (prev) prev(std::move(p), in_port);
+    };
+  }
+  // Drops inside the fabric (queue overflow and link-down; injected
+  // switch-failure drops are read from the per-switch counters).
+  auto hook_switch = [this](net::Switch& sw) {
+    for (int p = 0; p < sw.num_ports(); ++p) {
+      net::Port& port = sw.port(p);
+      auto prev = std::move(port.on_drop);
+      port.on_drop = [this, prev = std::move(prev)](const net::Packet& pkt) {
+        ++hook_dropped_packets_;
+        hook_dropped_bytes_ += pkt.size;
+        if (prev) prev(pkt);
+      };
+    }
+  };
+  for (int l = 0; l < topo_.config().num_leaves; ++l) hook_switch(topo_.leaf(l));
+  for (int s = 0; s < topo_.config().num_spines; ++s) hook_switch(topo_.spine(s));
+}
+
+std::uint64_t InvariantChecker::dropped_bytes() const {
+  std::uint64_t b = hook_dropped_bytes_;
+  for (int l = 0; l < topo_.config().num_leaves; ++l) b += topo_.leaf(l).failure_drop_bytes();
+  for (int s = 0; s < topo_.config().num_spines; ++s) b += topo_.spine(s).failure_drop_bytes();
+  return b;
+}
+
+std::uint64_t InvariantChecker::in_flight_bytes() const {
+  std::uint64_t b = 0;
+  for_each_port([&b](const net::Port& p) { b += p.backlog_bytes() + p.wire_bytes(); });
+  return b;
+}
+
+void InvariantChecker::violation(const std::string& what) {
+  violations_.push_back({simulator_.now(), what});
+}
+
+void InvariantChecker::check_conservation(const char* context) {
+  const std::uint64_t injected = injected_bytes_;
+  const std::uint64_t accounted = delivered_bytes_ + dropped_bytes() + in_flight_bytes();
+  if (injected != accounted) {
+    violation(std::string("byte conservation broken (") + context +
+              "): injected=" + std::to_string(injected) + " accounted=" +
+              std::to_string(accounted) + " delta=" +
+              std::to_string(static_cast<std::int64_t>(injected) -
+                             static_cast<std::int64_t>(accounted)));
+  }
+}
+
+void InvariantChecker::check_queue_bounds(const char* context) {
+  for_each_port([&](const net::Port& p) {
+    // Shared-buffer ports are bounded by the pool, checked below.
+    if (p.pooled()) return;
+    if (p.backlog_bytes() > p.config().queue_capacity_bytes) {
+      violation(std::string("queue bound exceeded (") + context + "): " + p.name() + " holds " +
+                std::to_string(p.backlog_bytes()) + " > cap " +
+                std::to_string(p.config().queue_capacity_bytes));
+    }
+  });
+  auto check_pool = [&](const net::Switch& sw) {
+    const net::DynamicThresholdPool* pool = sw.shared_buffer();
+    if (pool && pool->used() > pool->total()) {
+      violation(std::string("shared buffer overflow (") + context + "): " + sw.name() +
+                " uses " + std::to_string(pool->used()) + " > " +
+                std::to_string(pool->total()));
+    }
+  };
+  for (int l = 0; l < topo_.config().num_leaves; ++l) check_pool(topo_.leaf(l));
+  for (int s = 0; s < topo_.config().num_spines; ++s) check_pool(topo_.spine(s));
+}
+
+void InvariantChecker::update_watchdog() {
+  if (!snapshot_fn_) return;
+  const sim::SimTime now = simulator_.now();
+  const std::vector<FlowProgress> snap = snapshot_fn_();
+  std::size_t stuck = 0;
+  std::unordered_map<std::uint64_t, Progress> next;
+  next.reserve(snap.size());
+  for (const FlowProgress& fp : snap) {
+    auto it = progress_.find(fp.id);
+    if (it == progress_.end() || it->second.bytes != fp.bytes_acked) {
+      next.emplace(fp.id, Progress{fp.bytes_acked, now});
+    } else {
+      next.emplace(fp.id, it->second);
+      if (now - it->second.since >= config_.stuck_after) ++stuck;
+    }
+  }
+  progress_ = std::move(next);  // finished flows fall out of the table
+  stuck_flows_ = stuck;
+  if (stuck > max_stuck_flows_) max_stuck_flows_ = stuck;
+}
+
+void InvariantChecker::check_now(const char* context) {
+  ++checks_run_;
+  check_conservation(context);
+  if (config_.check_queue_bounds) check_queue_bounds(context);
+  update_watchdog();
+}
+
+void InvariantChecker::on_fault_transition(const FaultEvent& e) {
+  check_now(to_string(e.action));
+}
+
+void InvariantChecker::tick() {
+  check_now("periodic");
+  simulator_.after(config_.period, [this] { tick(); });
+}
+
+}  // namespace hermes::faults

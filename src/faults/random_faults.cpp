@@ -1,0 +1,60 @@
+#include "hermes/faults/random_faults.hpp"
+
+namespace hermes::faults {
+
+FaultPlan RandomFaultGenerator::generate() {
+  FaultPlan plan;
+  const double wsum = config_.w_random_drop + config_.w_blackhole + config_.w_link_down +
+                      config_.w_link_degrade;
+  if (wsum <= 0 || config_.mtbf <= sim::SimTime::zero()) return plan;
+
+  const auto exp_time = [this](sim::SimTime mean) {
+    return sim::SimTime::from_seconds(rng_.exponential(mean.to_seconds()));
+  };
+  const auto pick_link = [this] {
+    return LinkRef{static_cast<int>(rng_.next(static_cast<std::uint64_t>(topo_.num_leaves))),
+                   static_cast<int>(rng_.next(static_cast<std::uint64_t>(topo_.num_spines))),
+                   static_cast<int>(rng_.next(static_cast<std::uint64_t>(topo_.links_per_pair)))};
+  };
+
+  sim::SimTime t = config_.start;
+  const sim::SimTime end = config_.start + config_.horizon;
+  while (true) {
+    t += exp_time(config_.mtbf);
+    if (t >= end) break;
+    const sim::SimTime heal = t + exp_time(config_.mttr);
+
+    double pick = rng_.uniform() * wsum;
+    if ((pick -= config_.w_random_drop) < 0) {
+      const int spine = static_cast<int>(rng_.next(static_cast<std::uint64_t>(topo_.num_spines)));
+      const double rate = rng_.uniform(config_.drop_rate_lo, config_.drop_rate_hi);
+      plan.random_drop(t, spine, rate, SwitchTier::kSpine, "mtbf onset");
+      plan.random_drop(heal, spine, 0.0, SwitchTier::kSpine, "mttr heal");
+    } else if ((pick -= config_.w_blackhole) < 0) {
+      const int spine = static_cast<int>(rng_.next(static_cast<std::uint64_t>(topo_.num_spines)));
+      const int a = static_cast<int>(rng_.next(static_cast<std::uint64_t>(topo_.num_leaves)));
+      int b = static_cast<int>(rng_.next(static_cast<std::uint64_t>(topo_.num_leaves)));
+      if (b == a) b = (b + 1) % topo_.num_leaves;
+      if (b == a) continue;  // single-leaf fabric: nothing to blackhole
+      plan.blackhole_on(
+          t, spine,
+          rack_pair_blackhole(topo_.hosts_per_leaf, a, b, config_.half_pair_blackholes),
+          SwitchTier::kSpine, "mtbf onset");
+      plan.blackhole_off(heal, spine, SwitchTier::kSpine, "mttr heal");
+    } else if ((pick -= config_.w_link_down) < 0) {
+      const LinkRef l = pick_link();
+      plan.link_down(t, l.leaf, l.spine, l.k, "mtbf onset");
+      plan.link_up(heal, l.leaf, l.spine, l.k, "mttr heal");
+    } else {
+      const LinkRef l = pick_link();
+      auto it = topo_.fabric_overrides.find({l.leaf, l.spine, l.k});
+      const double nominal =
+          it != topo_.fabric_overrides.end() ? it->second : topo_.fabric_rate_bps;
+      plan.link_rate(t, l.leaf, l.spine, nominal * config_.degrade_factor, l.k, "mtbf onset");
+      plan.link_rate(heal, l.leaf, l.spine, nominal, l.k, "mttr heal");
+    }
+  }
+  return plan;
+}
+
+}  // namespace hermes::faults

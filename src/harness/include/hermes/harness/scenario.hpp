@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "hermes/core/hermes_lb.hpp"
+#include "hermes/faults/fault_plan.hpp"
+#include "hermes/faults/fault_scheduler.hpp"
+#include "hermes/faults/invariant_checker.hpp"
 #include "hermes/lb/clove.hpp"
 #include "hermes/lb/conga.hpp"
 #include "hermes/lb/drill.hpp"
@@ -65,6 +68,16 @@ struct ScenarioConfig {
   /// finish; the cap is what ends them).
   sim::SimTime max_sim_time = sim::sec(10);
 
+  /// Timed fault events (onset AND recovery) executed mid-run through a
+  /// FaultScheduler — dynamic failures, unlike the static
+  /// Switch::set_failure calls an experiment makes before traffic starts.
+  faults::FaultPlan fault_plan;
+  /// Wire an InvariantChecker across the fabric: byte conservation,
+  /// bounded queues, and the stuck-flow watchdog, verified after every
+  /// fault transition and every `invariant_config.period`.
+  bool check_invariants = false;
+  faults::InvariantCheckerConfig invariant_config;
+
   /// Optional decorator wrapped around the built balancer — used by the
   /// microbenchmarks to pin initial placements, and by applications to
   /// substitute entirely custom schemes (see examples/custom_scheme.cpp).
@@ -93,6 +106,10 @@ class Scenario {
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   /// Non-null only when the scheme is Hermes.
   [[nodiscard]] core::HermesLb* hermes() { return hermes_; }
+  /// Non-null only when the config carried a fault plan.
+  [[nodiscard]] faults::FaultScheduler* fault_scheduler() { return fault_sched_.get(); }
+  /// Non-null only when check_invariants was set.
+  [[nodiscard]] faults::InvariantChecker* invariants() { return checker_.get(); }
 
   /// Schedule a list of flows (e.g. from workload::generate_poisson_traffic).
   void add_flows(const std::vector<transport::FlowSpec>& flows);
@@ -122,6 +139,8 @@ class Scenario {
   std::unique_ptr<lb::LoadBalancer> lb_;
   core::HermesLb* hermes_ = nullptr;  // owned by lb_
   std::vector<std::unique_ptr<transport::HostStack>> stacks_;
+  std::unique_ptr<faults::InvariantChecker> checker_;
+  std::unique_ptr<faults::FaultScheduler> fault_sched_;
 
   stats::FctCollector collector_;
   std::unordered_map<std::uint64_t, transport::FlowSpec> active_;

@@ -66,6 +66,33 @@ Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
       };
     }
   }
+
+  // Invariant checking wraps the host/port observer hooks, so it must
+  // come after the stacks installed theirs; the fault scheduler is wired
+  // last so every transition triggers a checker pass.
+  if (config_.check_invariants) {
+    checker_ = std::make_unique<faults::InvariantChecker>(*simulator_, *topo_,
+                                                          config_.invariant_config);
+    checker_->set_flow_snapshot([this] {
+      std::vector<faults::FlowProgress> snap;
+      snap.reserve(active_.size());
+      for (const auto& [id, spec] : active_) {
+        if (transport::TcpSender* snd = stacks_[spec.src]->sender(id)) {
+          snap.push_back({id, snd->snd_una()});
+        }
+      }
+      return snap;
+    });
+  }
+  if (!config_.fault_plan.empty()) {
+    fault_sched_ = std::make_unique<faults::FaultScheduler>(*simulator_, *topo_);
+    if (checker_) {
+      fault_sched_->on_transition = [this](const faults::FaultEvent& e) {
+        checker_->on_fault_transition(e);
+      };
+    }
+    fault_sched_->install(config_.fault_plan);
+  }
 }
 
 Scenario::~Scenario() = default;

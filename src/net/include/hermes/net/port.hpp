@@ -37,12 +37,15 @@ struct PortConfig {
   double red_pmax = 1.0;
 };
 
-/// Counters exported by every port.
+/// Counters exported by every port. `drops`/`drop_bytes` total every drop
+/// at this port; `link_down_drops` is the subset lost because the link
+/// itself was administratively/faultily down (fault injection).
 struct PortStats {
   std::uint64_t tx_packets = 0;
   std::uint64_t tx_bytes = 0;
   std::uint64_t drops = 0;
   std::uint64_t drop_bytes = 0;
+  std::uint64_t link_down_drops = 0;
   std::uint64_t ecn_marks = 0;
 };
 
@@ -80,6 +83,28 @@ class Port {
     return sim::SimTime::from_seconds(static_cast<double>(bytes) * 8.0 / config_.rate_bps);
   }
 
+  // --- runtime fault state (driven by the fault scheduler) --------------
+  /// Change the link capacity mid-run (degrade/restore). Affects future
+  /// serializations; packets already on the wire keep their old timing.
+  void set_rate_bps(double rate_bps) { config_.rate_bps = rate_bps; }
+  /// Cut / restore the link. While down, newly arriving packets are
+  /// silently dropped (counted in stats: drops + link_down_drops); what is
+  /// already queued or on the wire still drains — a cut fiber loses what
+  /// is sent into it, not what already left.
+  void set_link_up(bool up) { link_up_ = up; }
+  [[nodiscard]] bool link_up() const { return link_up_; }
+
+  /// Bytes transmitted but still propagating (invariant accounting).
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& p : wire_) b += p.size;
+    return b;
+  }
+  [[nodiscard]] std::size_t wire_packets() const { return wire_.size(); }
+  /// True when admission goes through a shared BufferPool instead of the
+  /// static per-port capacity (invariant checker picks the right bound).
+  [[nodiscard]] bool pooled() const { return pool_ != nullptr; }
+
   /// Optional per-packet observers (tests and TraceLog). Null by default;
   /// the hot path pays one branch each.
   std::function<void(const Packet&)> on_drop;
@@ -115,6 +140,7 @@ class Port {
   std::deque<Packet> wire_;  ///< transmitted, awaiting propagation delivery
   std::uint32_t backlog_bytes_ = 0;
   bool busy_ = false;
+  bool link_up_ = true;
 
   Dre dre_;
   PortStats stats_;

@@ -45,7 +45,22 @@ class Switch : public Device {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   void set_failure(SwitchFailureConfig failure) { failure_ = std::move(failure); }
-  [[nodiscard]] std::uint64_t failure_drops() const { return failure_drops_; }
+  /// Runtime mutators for one failure dimension at a time (fault events
+  /// toggle a blackhole without clobbering a concurrent drop rate).
+  void set_blackhole(std::function<bool(const Packet&)> predicate) {
+    failure_.blackhole = std::move(predicate);
+  }
+  void clear_blackhole() { failure_.blackhole = nullptr; }
+  void set_random_drop_rate(double rate) { failure_.random_drop_rate = rate; }
+  [[nodiscard]] const SwitchFailureConfig& failure() const { return failure_; }
+
+  /// Injected-failure drops split by reason (and total, for convenience).
+  [[nodiscard]] std::uint64_t blackhole_drops() const { return blackhole_drops_; }
+  [[nodiscard]] std::uint64_t random_drops() const { return random_drops_; }
+  [[nodiscard]] std::uint64_t failure_drops() const { return blackhole_drops_ + random_drops_; }
+  [[nodiscard]] std::uint64_t failure_drop_bytes() const {
+    return blackhole_drop_bytes_ + random_drop_bytes_;
+  }
 
   /// Replace per-port static buffers with one shared pool managed by the
   /// Dynamic Threshold algorithm (call after all ports are added).
@@ -62,7 +77,10 @@ class Switch : public Device {
   std::vector<std::unique_ptr<Port>> ports_;
   SwitchFailureConfig failure_;
   sim::Rng drop_rng_;
-  std::uint64_t failure_drops_ = 0;
+  std::uint64_t blackhole_drops_ = 0;
+  std::uint64_t blackhole_drop_bytes_ = 0;
+  std::uint64_t random_drops_ = 0;
+  std::uint64_t random_drop_bytes_ = 0;
   std::unique_ptr<DynamicThresholdPool> pool_;
 };
 

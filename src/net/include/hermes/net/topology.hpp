@@ -99,6 +99,21 @@ class Topology {
   [[nodiscard]] Port& leaf_uplink(int leaf_id, int spine, int k = 0);
   [[nodiscard]] Port& spine_downlink(int spine, int leaf_id, int k = 0);
 
+  // --- runtime fault mutators (FaultScheduler) --------------------------
+  // These change *link behaviour* mid-run without touching the enumerated
+  // path set: a load balancer keeps seeing the path and must sense the
+  // failure itself, exactly like a silent fault in a real fabric. (The
+  // build-time `fabric_overrides` with rate 0, by contrast, remove paths
+  // from enumeration — a fault every scheme knows about up front.)
+  /// Cut (up=false) or restore (up=true) both directions of a link.
+  void set_link_state(int leaf_id, int spine, bool up, int k = 0);
+  /// Degrade or restore both directions of a link to `rate_bps`.
+  void set_link_rate(int leaf_id, int spine, double rate_bps, int k = 0);
+  /// The build-time capacity of a link (what restore should return to).
+  [[nodiscard]] double configured_link_rate(int leaf_id, int spine, int k = 0) const {
+    return link_rate(leaf_id, spine, k);
+  }
+
   /// Aggregate leaf->spine capacity: the sustainable inter-rack load unit.
   [[nodiscard]] double bisection_bps() const { return bisection_bps_; }
   /// One-hop queueing delay at the ECN threshold (the paper's per-hop

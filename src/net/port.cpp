@@ -27,6 +27,15 @@ bool Port::should_mark() {
 }
 
 void Port::send(Packet p) {
+  if (!link_up_) {
+    // Fault-injected link cut: the packet vanishes silently, like a pulled
+    // fiber — no NACK, nothing the load balancer can observe directly.
+    ++stats_.drops;
+    stats_.drop_bytes += p.size;
+    ++stats_.link_down_drops;
+    if (on_drop) on_drop(p);
+    return;
+  }
   const bool admitted = pool_ ? pool_->try_admit(p.size, backlog_bytes_)
                               : backlog_bytes_ + p.size <= config_.queue_capacity_bytes;
   if (!admitted) {

@@ -27,11 +27,13 @@ void Switch::receive(Packet p, int /*in_port*/) {
   // Failure injectors model silent switch malfunctions: the packet vanishes
   // with no NACK, no ICMP, no counter visible to the load balancer.
   if (failure_.blackhole && failure_.blackhole(p)) {
-    ++failure_drops_;
+    ++blackhole_drops_;
+    blackhole_drop_bytes_ += p.size;
     return;
   }
   if (failure_.random_drop_rate > 0.0 && drop_rng_.chance(failure_.random_drop_rate)) {
-    ++failure_drops_;
+    ++random_drops_;
+    random_drop_bytes_ += p.size;
     return;
   }
 

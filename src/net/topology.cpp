@@ -177,6 +177,16 @@ Port& Topology::spine_downlink(int spine, int leaf_id, int k) {
   return spines_[spine]->port(downlink_port_index(leaf_id, k));
 }
 
+void Topology::set_link_state(int leaf_id, int spine, bool up, int k) {
+  leaf_uplink(leaf_id, spine, k).set_link_up(up);
+  spine_downlink(spine, leaf_id, k).set_link_up(up);
+}
+
+void Topology::set_link_rate(int leaf_id, int spine, double rate_bps, int k) {
+  leaf_uplink(leaf_id, spine, k).set_rate_bps(rate_bps);
+  spine_downlink(spine, leaf_id, k).set_rate_bps(rate_bps);
+}
+
 sim::SimTime Topology::one_hop_delay() const {
   // Queueing delay of a fabric link filled to the ECN threshold.
   const double bytes = config_.ecn_bytes_for(config_.fabric_rate_bps);

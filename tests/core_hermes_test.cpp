@@ -202,14 +202,17 @@ TEST_F(HermesLbTest, BlackholeDetectedAfterThreeTimeoutsWithoutAcks) {
   EXPECT_NE(topo.path(chosen).local_index, 1);
 }
 
-TEST_F(HermesLbTest, NoBlackholeWhenAcksArrived) {
+TEST_F(HermesLbTest, MidFlowOnsetDetectedDespiteEarlierProgress) {
+  // A blackhole that onsets while a flow is mid-transfer: the flow made
+  // plenty of progress on the path, then hits consecutive timeouts with
+  // no ACK in between. Earlier progress must not veto detection.
   const auto& paths = topo.paths_between_leaves(0, 1);
   auto f = make_flow(topo, 1, 0, 2);
   f.current_path = paths[1].id;
   f.has_sent = true;
-  f.acked_on_path = 5;  // progress happened on this path
-  for (int i = 0; i < 5; ++i) h.on_timeout(f);
-  EXPECT_FALSE(h.blackholed(0, 2, 1));
+  f.acked_on_path = 5;  // progress happened on this path, pre-onset
+  for (std::uint32_t i = 0; i < cfg.blackhole_timeouts; ++i) h.on_timeout(f);
+  EXPECT_TRUE(h.blackholed(0, 2, 1));
 }
 
 TEST_F(HermesLbTest, AckBetweenTimeoutsResetsBlackholeCount) {

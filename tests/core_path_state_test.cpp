@@ -180,6 +180,74 @@ TEST(PathState, FailureCanBeCleared) {
   EXPECT_FALSE(st.failed());
 }
 
+// --- failure-latch lifecycle (expiry + re-confirmation doubling) --------
+
+TEST(FailureLatch, FiresAndStaysActiveWithinExpiry) {
+  auto cfg = test_config();
+  PathState st;
+  st.fail(msec(1));
+  EXPECT_TRUE(st.failed_active(msec(1), cfg));
+  // Still latched right up to the expiry boundary.
+  EXPECT_TRUE(st.failed_active(msec(1) + cfg.failure_expiry, cfg));
+}
+
+TEST(FailureLatch, ExpiresWithoutFreshEvidence) {
+  auto cfg = test_config();
+  PathState st;
+  st.fail(msec(1));
+  const auto past = msec(1) + cfg.failure_expiry + usec(1);
+  EXPECT_FALSE(st.failed_active(past, cfg));
+  EXPECT_FALSE(st.failed());  // the latch itself cleared, not just the view
+}
+
+TEST(FailureLatch, ReconfirmationDoublesExpiry) {
+  auto cfg = test_config();
+  PathState st;
+  st.fail(msec(1));  // streak 1: expiry = E
+  EXPECT_FALSE(st.failed_active(msec(1) + cfg.failure_expiry * 2, cfg));
+  st.fail(msec(300));  // streak 2: expiry = 2E
+  // One expiry later it is still latched (would have expired at streak 1)...
+  EXPECT_TRUE(st.failed_active(msec(300) + cfg.failure_expiry + usec(1), cfg));
+  // ...but two expiries later it heals.
+  EXPECT_FALSE(st.failed_active(msec(300) + cfg.failure_expiry * 2 + usec(1), cfg));
+}
+
+TEST(FailureLatch, DoublingCapsAt128x) {
+  auto cfg = test_config();
+  PathState st;
+  // Far more confirmations than the cap; streak saturates at 8.
+  for (int i = 0; i < 20; ++i) st.fail(msec(1));
+  // 128x expiry still latched...
+  EXPECT_TRUE(st.failed_active(msec(1) + cfg.failure_expiry * 128, cfg));
+  // ...but not a nanosecond more than that (no unbounded growth).
+  EXPECT_FALSE(st.failed_active(msec(1) + cfg.failure_expiry * 128 + usec(1), cfg));
+}
+
+TEST(FailureLatch, ClearedFaultReturnsToCongestionType) {
+  auto cfg = test_config();
+  PathState st;
+  saturate(st, usec(40), 0.0, cfg);
+  EXPECT_EQ(st.characterize(cfg), PathType::kGood);
+  st.fail(msec(1));
+  EXPECT_EQ(st.characterize(cfg), PathType::kFailed);
+  // Expiry heals the latch; the path reads good again from its signals.
+  EXPECT_FALSE(st.failed_active(msec(1) + cfg.failure_expiry + usec(1), cfg));
+  EXPECT_EQ(st.characterize(cfg), PathType::kGood);
+  // A fresh path with no samples heals back to gray, not good.
+  PathState fresh;
+  fresh.fail(msec(1));
+  EXPECT_FALSE(fresh.failed_active(msec(1) + cfg.failure_expiry + usec(1), cfg));
+  EXPECT_EQ(fresh.characterize(cfg), PathType::kGray);
+}
+
+TEST(FailureLatch, ZeroExpiryLatchesForever) {
+  auto cfg = test_config();
+  cfg.failure_expiry = sim::SimTime::zero();
+  PathState st;
+  st.fail(msec(1));
+  EXPECT_TRUE(st.failed_active(sim::sec(100), cfg));
+}
+
 TEST(PathState, RateDreAccumulatesSends) {
   auto cfg = test_config();
   PathState st;
