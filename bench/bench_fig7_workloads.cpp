@@ -4,9 +4,12 @@
 // distributions and checks the headline skew statistics the paper quotes
 // (data-mining: ~95% of bytes in the ~3.6% of flows larger than 35MB).
 
+#include <cstddef>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "hermes/harness/parallel_runner.hpp"
 #include "hermes/sim/rng.hpp"
 #include "hermes/stats/table.hpp"
 #include "hermes/workload/size_dist.hpp"
@@ -37,18 +40,40 @@ int main(int argc, char** argv) {
   std::printf("\nmean flow size: web-search=%.2fMB data-mining=%.2fMB\n", ws.mean_bytes() / 1e6,
               dm.mean_bytes() / 1e6);
 
-  // Empirical skew check by sampling.
-  sim::Rng rng{1};
+  // Empirical skew check by sampling, fanned out over a ParallelRunner.
+  // The chunk count is fixed (not the thread count) and every chunk
+  // draws from its own forked RNG stream, so the sampled numbers are
+  // identical however many threads execute; partials are combined in
+  // chunk order so the floating-point sums are too.
   const int n = bench::scaled(200000, scale);
+  constexpr int kChunks = 64;
+  struct Partial {
+    double total = 0, big_bytes = 0;
+    int big_flows = 0, samples = 0;
+  };
+  const harness::ParallelRunner runner;
+  const auto partials = runner.map<Partial>(kChunks, [&](std::size_t chunk) {
+    const int begin = static_cast<int>(chunk) * n / kChunks;
+    const int end = (static_cast<int>(chunk) + 1) * n / kChunks;
+    sim::Rng rng = sim::Rng{1}.fork(chunk);
+    Partial p;
+    for (int i = begin; i < end; ++i) {
+      const auto s = static_cast<double>(dm.sample(rng));
+      p.total += s;
+      ++p.samples;
+      if (s > 35e6) {
+        p.big_bytes += s;
+        ++p.big_flows;
+      }
+    }
+    return p;
+  });
   double total = 0, big_bytes = 0;
   int big_flows = 0;
-  for (int i = 0; i < n; ++i) {
-    const auto s = static_cast<double>(dm.sample(rng));
-    total += s;
-    if (s > 35e6) {
-      big_bytes += s;
-      ++big_flows;
-    }
+  for (const Partial& p : partials) {
+    total += p.total;
+    big_bytes += p.big_bytes;
+    big_flows += p.big_flows;
   }
   std::printf("data-mining sampled skew: %.1f%% of flows are >35MB and carry %.1f%% of bytes\n",
               100.0 * big_flows / n, 100.0 * big_bytes / total);

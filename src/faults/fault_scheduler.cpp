@@ -14,9 +14,15 @@ FaultScheduler::FaultScheduler(sim::Simulator& simulator, net::Topology& topo)
     : simulator_{simulator}, topo_{topo} {}
 
 void FaultScheduler::install(const FaultPlan& plan) {
+  // Events are stored on the scheduler and the queue carries only an
+  // index: the capture stays tiny (fits the inline event callback) and a
+  // FaultEvent's std::string/std::function members are never copied
+  // through the event queue.
   for (const FaultEvent& e : plan.sorted()) {
+    const std::size_t idx = installed_events_.size();
+    installed_events_.push_back(e);
     ++installed_;
-    simulator_.at(e.at, [this, e] { apply(e); });
+    simulator_.at(e.at, [this, idx] { apply(installed_events_[idx]); });
   }
 }
 

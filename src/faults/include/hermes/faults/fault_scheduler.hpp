@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include <deque>
+
 #include "hermes/faults/fault_plan.hpp"
 #include "hermes/net/topology.hpp"
 #include "hermes/sim/simulator.hpp"
@@ -51,6 +53,9 @@ class FaultScheduler {
   sim::Simulator& simulator_;
   net::Topology& topo_;
   std::vector<AppliedFault> log_;
+  /// Installed events, owned here; queued callbacks index into this
+  /// (append-only, so indices stay stable across install() calls).
+  std::deque<FaultEvent> installed_events_;
   std::size_t installed_ = 0;
   int active_ = 0;
 };

@@ -114,8 +114,10 @@ class InvariantChecker {
   struct Progress {
     std::uint64_t bytes = 0;
     sim::SimTime since{};
+    std::uint64_t epoch = 0;  ///< watchdog pass that last saw this flow
   };
   std::unordered_map<std::uint64_t, Progress> progress_;
+  std::uint64_t watchdog_epoch_ = 0;
   std::size_t stuck_flows_ = 0;
   std::size_t max_stuck_flows_ = 0;
 

@@ -128,18 +128,22 @@ void InvariantChecker::update_watchdog() {
   const sim::SimTime now = simulator_.now();
   const std::vector<FlowProgress> snap = snapshot_fn_();
   std::size_t stuck = 0;
-  std::unordered_map<std::uint64_t, Progress> next;
-  next.reserve(snap.size());
+  // In-place epoch-stamped update: live flows refresh their entry, and a
+  // single erase pass drops finished flows — no per-tick map rebuild.
+  ++watchdog_epoch_;
+  progress_.reserve(snap.size());
   for (const FlowProgress& fp : snap) {
-    auto it = progress_.find(fp.id);
-    if (it == progress_.end() || it->second.bytes != fp.bytes_acked) {
-      next.emplace(fp.id, Progress{fp.bytes_acked, now});
-    } else {
-      next.emplace(fp.id, it->second);
-      if (now - it->second.since >= config_.stuck_after) ++stuck;
+    auto [it, inserted] = progress_.try_emplace(fp.id, Progress{fp.bytes_acked, now, 0});
+    if (!inserted && it->second.bytes != fp.bytes_acked) {
+      it->second.bytes = fp.bytes_acked;
+      it->second.since = now;
+    } else if (!inserted && now - it->second.since >= config_.stuck_after) {
+      ++stuck;
     }
+    it->second.epoch = watchdog_epoch_;
   }
-  progress_ = std::move(next);  // finished flows fall out of the table
+  std::erase_if(progress_,
+                [this](const auto& kv) { return kv.second.epoch != watchdog_epoch_; });
   stuck_flows_ = stuck;
   if (stuck > max_stuck_flows_) max_stuck_flows_ = stuck;
 }

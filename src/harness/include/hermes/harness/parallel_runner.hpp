@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hermes::harness {
+
+/// Thread-pool runner for embarrassingly parallel experiment sweeps.
+///
+/// A simulation cell (one Scenario with its own EventQueue, Topology and
+/// RNG streams) shares no mutable state with any other cell, so a sweep
+/// over (scheme, load, workload) points is a pure map. The runner claims
+/// indices from an atomic counter, so long cells (high load, large
+/// flows) do not convoy behind a static partition.
+///
+/// Determinism: each cell's result depends only on its index/config,
+/// never on which thread ran it or in what order — callers assemble
+/// output from the index-ordered results, so a parallel sweep is
+/// byte-identical to a serial one (covered by determinism_test).
+///
+/// Thread count: explicit argument, else the HERMES_THREADS environment
+/// variable, else std::thread::hardware_concurrency().
+class ParallelRunner {
+ public:
+  /// `threads == 0` means "pick a default" (see class comment).
+  explicit ParallelRunner(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// HERMES_THREADS env var if set and positive, else hardware
+  /// concurrency (at least 1).
+  [[nodiscard]] static unsigned default_threads();
+
+  /// Invoke fn(i) for every i in [0, n), spread across the pool.
+  /// Blocks until done. If any invocation throws, the first exception
+  /// (by completion order) is rethrown after all workers stop; some
+  /// indices may then not have run.
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn) const;
+
+  /// Map [0, n) through fn, returning results in index order regardless
+  /// of execution order. R must be default-constructible and movable.
+  template <typename R, typename Fn>
+  [[nodiscard]] std::vector<R> map(std::size_t n, Fn&& fn) const {
+    std::vector<R> out(n);
+    for_each_index(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace hermes::harness

@@ -149,6 +149,9 @@ void Scenario::build_balancer() {
 }
 
 void Scenario::add_flows(const std::vector<transport::FlowSpec>& flows) {
+  // Upper bound: every scheduled flow in flight at once. Sizing the map
+  // up front removes rehash churn from the middle of the run.
+  active_.reserve(active_.size() + pending_ + flows.size());
   for (const auto& f : flows) {
     ++pending_;
     simulator_->at(f.start, [this, f] {

@@ -31,7 +31,12 @@ class CloveLb final : public LoadBalancer {
       : simulator_{simulator},
         topo_{topo},
         config_{config},
-        rng_{simulator.rng_stream(0xC10FE)} {}
+        rng_{simulator.rng_stream(0xC10FE)} {
+    // Keyed by (src host, dst leaf): bounded by hosts x leaves, typically
+    // a few thousand entries — reserve once, never rehash on the hot path.
+    state_.reserve(static_cast<std::size_t>(topo.num_hosts()) *
+                   static_cast<std::size_t>(topo.config().num_leaves));
+  }
 
   int select_path(FlowCtx& flow, const net::Packet&) override {
     if (flow.intra_rack()) return -1;

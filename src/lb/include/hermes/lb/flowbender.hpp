@@ -25,7 +25,9 @@ struct FlowBenderConfig {
 class FlowBenderLb final : public LoadBalancer {
  public:
   FlowBenderLb(sim::Simulator& simulator, net::Topology& topo, FlowBenderConfig config = {})
-      : simulator_{simulator}, topo_{topo}, config_{config} {}
+      : simulator_{simulator}, topo_{topo}, config_{config} {
+    state_.reserve(kExpectedConcurrentFlows);  // avoid rehashing mid-run
+  }
 
   int select_path(FlowCtx& flow, const net::Packet&) override {
     if (flow.intra_rack()) return -1;

@@ -1,11 +1,18 @@
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 #include "hermes/lb/flow_ctx.hpp"
 #include "hermes/net/packet.hpp"
 
 namespace hermes::lb {
+
+/// Initial bucket reservation for per-flow state maps kept by schemes.
+/// Sized for the concurrent-flow population of the paper's sweeps so the
+/// maps never rehash on the packet path (they grow only if a workload
+/// keeps more flows in flight than this).
+inline constexpr std::size_t kExpectedConcurrentFlows = 1024;
 
 /// Path-selection interface implemented by every scheme (ECMP, DRB,
 /// Presto*, LetFlow, CONGA, CLOVE-ECN, Hermes).

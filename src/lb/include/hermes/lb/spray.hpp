@@ -27,7 +27,9 @@ struct SprayConfig {
 class SprayLb final : public LoadBalancer {
  public:
   SprayLb(net::Topology& topo, SprayConfig config, std::string_view name)
-      : topo_{topo}, config_{config}, name_{name} {}
+      : topo_{topo}, config_{config}, name_{name} {
+    state_.reserve(kExpectedConcurrentFlows);  // avoid rehashing mid-run
+  }
 
   int select_path(FlowCtx& flow, const net::Packet& pkt) override {
     if (flow.intra_rack()) return -1;

@@ -44,14 +44,24 @@ class Switch : public Device {
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  void set_failure(SwitchFailureConfig failure) { failure_ = std::move(failure); }
+  void set_failure(SwitchFailureConfig failure) {
+    failure_ = std::move(failure);
+    refresh_failure_flag();
+  }
   /// Runtime mutators for one failure dimension at a time (fault events
   /// toggle a blackhole without clobbering a concurrent drop rate).
   void set_blackhole(std::function<bool(const Packet&)> predicate) {
     failure_.blackhole = std::move(predicate);
+    refresh_failure_flag();
   }
-  void clear_blackhole() { failure_.blackhole = nullptr; }
-  void set_random_drop_rate(double rate) { failure_.random_drop_rate = rate; }
+  void clear_blackhole() {
+    failure_.blackhole = nullptr;
+    refresh_failure_flag();
+  }
+  void set_random_drop_rate(double rate) {
+    failure_.random_drop_rate = rate;
+    refresh_failure_flag();
+  }
   [[nodiscard]] const SwitchFailureConfig& failure() const { return failure_; }
 
   /// Injected-failure drops split by reason (and total, for convenience).
@@ -71,11 +81,19 @@ class Switch : public Device {
   bool conga_stamping = true;
 
  private:
+  /// Cached "any failure injector armed" bit so the healthy forwarding
+  /// path pays a single predicted branch instead of a std::function
+  /// test plus a double compare per packet.
+  void refresh_failure_flag() {
+    failure_active_ = static_cast<bool>(failure_.blackhole) || failure_.random_drop_rate > 0.0;
+  }
+
   sim::Simulator& simulator_;
   int id_;
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
   SwitchFailureConfig failure_;
+  bool failure_active_ = false;
   sim::Rng drop_rng_;
   std::uint64_t blackhole_drops_ = 0;
   std::uint64_t blackhole_drop_bytes_ = 0;

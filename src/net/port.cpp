@@ -27,7 +27,7 @@ bool Port::should_mark() {
 }
 
 void Port::send(Packet p) {
-  if (!link_up_) {
+  if (!link_up_) [[unlikely]] {
     // Fault-injected link cut: the packet vanishes silently, like a pulled
     // fiber — no NACK, nothing the load balancer can observe directly.
     ++stats_.drops;
@@ -38,7 +38,7 @@ void Port::send(Packet p) {
   }
   const bool admitted = pool_ ? pool_->try_admit(p.size, backlog_bytes_)
                               : backlog_bytes_ + p.size <= config_.queue_capacity_bytes;
-  if (!admitted) {
+  if (!admitted) [[unlikely]] {
     ++stats_.drops;
     stats_.drop_bytes += p.size;
     if (on_drop) on_drop(p);
@@ -52,7 +52,9 @@ void Port::send(Packet p) {
     ++stats_.ecn_marks;
   }
   backlog_bytes_ += p.size;
-  if (on_enqueue) on_enqueue(p);
+  // Trace observers are null in every non-instrumented run: the hot path
+  // pays exactly one predicted-not-taken branch per hook.
+  if (on_enqueue) [[unlikely]] on_enqueue(p);
   (p.priority > 0 ? hi_ : lo_).push_back(std::move(p));
   try_transmit();
 }
@@ -69,17 +71,26 @@ void Port::try_transmit() {
   dre_.add(p.size, simulator_.now());
   ++stats_.tx_packets;
   stats_.tx_bytes += p.size;
-  if (on_transmit) on_transmit(p);
+  if (on_transmit) [[unlikely]] on_transmit(p);
   const auto tx = tx_time(p.size);
   // The packet rides "the wire" until tx + propagation; deliveries are
-  // FIFO, so a this-capturing event (no allocation) pops the next one.
+  // FIFO, so a this-capturing event pops the next one. These two hop
+  // continuations are THE event hot path: assert they stay within the
+  // inline callback storage so no per-packet heap allocation can sneak
+  // back in.
   wire_.push_back(std::move(p));
-  simulator_.after(tx, [this] { finish_transmit(); });
+  const auto finish = [this] { finish_transmit(); };
+  static_assert(sizeof(finish) <= sim::EventQueue::kInlineCallbackBytes,
+                "packet-hop lambda must fit the inline event callback");
+  simulator_.after(tx, finish);
 }
 
 void Port::finish_transmit() {
   busy_ = false;
-  simulator_.after(config_.prop_delay, [this] { deliver_front(); });
+  const auto deliver = [this] { deliver_front(); };
+  static_assert(sizeof(deliver) <= sim::EventQueue::kInlineCallbackBytes,
+                "packet-hop lambda must fit the inline event callback");
+  simulator_.after(config_.prop_delay, deliver);
   try_transmit();
 }
 

@@ -26,15 +26,17 @@ int Switch::add_port(PortConfig config, Device* peer, int peer_in_port) {
 void Switch::receive(Packet p, int /*in_port*/) {
   // Failure injectors model silent switch malfunctions: the packet vanishes
   // with no NACK, no ICMP, no counter visible to the load balancer.
-  if (failure_.blackhole && failure_.blackhole(p)) {
-    ++blackhole_drops_;
-    blackhole_drop_bytes_ += p.size;
-    return;
-  }
-  if (failure_.random_drop_rate > 0.0 && drop_rng_.chance(failure_.random_drop_rate)) {
-    ++random_drops_;
-    random_drop_bytes_ += p.size;
-    return;
+  if (failure_active_) [[unlikely]] {
+    if (failure_.blackhole && failure_.blackhole(p)) {
+      ++blackhole_drops_;
+      blackhole_drop_bytes_ += p.size;
+      return;
+    }
+    if (failure_.random_drop_rate > 0.0 && drop_rng_.chance(failure_.random_drop_rate)) {
+      ++random_drops_;
+      random_drop_bytes_ += p.size;
+      return;
+    }
   }
 
   assert(p.hop < p.route.len && "source route exhausted at a switch");

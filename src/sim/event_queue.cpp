@@ -1,52 +1,214 @@
 #include "hermes/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace hermes::sim {
 
+EventQueue::EventQueue()
+    : l0_(static_cast<std::size_t>(kNumBuckets)), l1_(static_cast<std::size_t>(kNumBuckets)) {}
+
+void EventQueue::place(Event&& ev) {
+  const std::int64_t i0 = ev.time.ns() >> kL0Shift;
+  if (i0 <= cur_) {
+    // The wheel already drained past this bucket (the event is due now or
+    // nearly now): merge into the sorted due run.
+    const auto it = std::upper_bound(due_.begin() + static_cast<std::ptrdiff_t>(due_head_),
+                                     due_.end(), ev, Earlier{});
+    due_.insert(it, std::move(ev));
+    return;
+  }
+  if (i0 - cur_ <= kNumBuckets) {
+    l0_[static_cast<std::size_t>(i0 & kBucketMask)].push_back(std::move(ev));
+    ++l0_count_;
+    return;
+  }
+  const std::int64_t i1 = ev.time.ns() >> kL1Shift;
+  const std::int64_t cur1 = cur_ >> kLevelBits;
+  if (i1 - cur1 < kNumBuckets) {
+    l1_[static_cast<std::size_t>(i1 & kBucketMask)].push_back(std::move(ev));
+    ++l1_count_;
+    return;
+  }
+  // Beyond the level-1 horizon (~268ms ahead): sorted overflow list.
+  // Workload generators emit flow arrivals in time order, so the common
+  // insert is an O(1) append at the back.
+  const auto it = std::upper_bound(overflow_.begin() + static_cast<std::ptrdiff_t>(overflow_head_),
+                                   overflow_.end(), ev, Earlier{});
+  overflow_.insert(it, std::move(ev));
+}
+
 void EventQueue::post_at(SimTime t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
-  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(cb), nullptr});
+  ++live_;
+  place(Event{t < now_ ? now_ : t, next_seq_++, kNoSlot, 0, std::move(cb)});
 }
 
 EventQueue::Handle EventQueue::schedule_at(SimTime t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
-  auto state = std::make_shared<Handle::State>();
-  Handle h{state};
-  heap_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(cb), std::move(state)});
-  return h;
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  const std::uint32_t gen = slots_[slot].gen;
+  ++live_;
+  place(Event{t < now_ ? now_ : t, next_seq_++, slot, gen, std::move(cb)});
+  return Handle{this, slot, gen};
+}
+
+void EventQueue::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return;  // already fired/cancelled
+  ++slots_[slot].gen;  // invalidates the stored event record and all handle copies
+  free_slots_.push_back(slot);
+  assert(live_ > 0);
+  --live_;
+}
+
+bool EventQueue::consume_slot(const Event& ev) {
+  if (slots_[ev.slot].gen != ev.gen) return false;  // cancelled: stale record
+  ++slots_[ev.slot].gen;  // fired: handles turn inert, slot returns to the pool
+  free_slots_.push_back(ev.slot);
+  return true;
+}
+
+void EventQueue::drain_to_due(std::vector<Event>& bucket) {
+  l0_count_ -= bucket.size();
+  if (due_head_ == due_.size()) {
+    due_.clear();
+    due_head_ = 0;
+  }
+  const auto base = static_cast<std::ptrdiff_t>(due_.size());
+  for (auto& ev : bucket) due_.push_back(std::move(ev));
+  bucket.clear();  // keeps capacity: the bucket is reused next lap
+  // A bucket spans 256ns of simulated time, so it can hold events at
+  // different instants; restore the (time, seq) total order. When the
+  // due run already had entries (same-instant inserts made during the
+  // cascade), sort the whole run rather than merging.
+  auto first = due_.begin() + (due_head_ < static_cast<std::size_t>(base)
+                                   ? static_cast<std::ptrdiff_t>(due_head_)
+                                   : base);
+  std::sort(first, due_.end(), Earlier{});
+}
+
+void EventQueue::advance() {
+  for (;;) {
+    // First bucket index of the next level-1 span.
+    const std::int64_t span_end = ((cur_ >> kLevelBits) + 1) << kLevelBits;
+    if (l0_count_ > 0) {
+      for (std::int64_t i = cur_ + 1; i < span_end; ++i) {
+        auto& bucket = l0_[static_cast<std::size_t>(i & kBucketMask)];
+        if (!bucket.empty()) {
+          cur_ = i;
+          drain_to_due(bucket);
+          return;
+        }
+      }
+    }
+    if (l0_count_ == 0 && l1_count_ == 0) {
+      if (overflow_head_ == overflow_.size()) {
+        cur_ = span_end - 1;
+        return;  // nothing stored anywhere; caller observes due_ unchanged
+      }
+      // Only far-future overflow remains: fast-forward the cursor so the
+      // next span entry brings the overflow head inside the level-1
+      // window, instead of walking every empty span up to it.
+      const std::int64_t oi1 = overflow_[overflow_head_].time.ns() >> kL1Shift;
+      const std::int64_t jump_cur1 = oi1 - (kNumBuckets - 1);
+      if (jump_cur1 > (cur_ >> kLevelBits) + 1) cur_ = (jump_cur1 << kLevelBits) - 1;
+    }
+    // Enter the next level-1 bucket: pull newly-in-horizon overflow
+    // events, then cascade the bucket's events down into level 0 / due.
+    cur_ = ((cur_ >> kLevelBits) + 1) << kLevelBits;
+    const std::int64_t cur1 = cur_ >> kLevelBits;
+    while (overflow_head_ < overflow_.size() &&
+           (overflow_[overflow_head_].time.ns() >> kL1Shift) - cur1 < kNumBuckets) {
+      place(std::move(overflow_[overflow_head_++]));
+    }
+    if (overflow_head_ == overflow_.size() && !overflow_.empty()) {
+      overflow_.clear();
+      overflow_head_ = 0;
+    }
+    auto& b1 = l1_[static_cast<std::size_t>(cur1 & kBucketMask)];
+    if (!b1.empty()) {
+      l1_count_ -= b1.size();
+      for (auto& ev : b1) place(std::move(ev));  // all land in level 0 or due_
+      b1.clear();
+    }
+    auto& b0 = l0_[static_cast<std::size_t>(cur_ & kBucketMask)];
+    if (!b0.empty()) drain_to_due(b0);
+    if (due_head_ < due_.size()) return;
+  }
+}
+
+bool EventQueue::peek_due() {
+  while (due_head_ == due_.size()) {
+    due_.clear();
+    due_head_ = 0;
+    if (l0_count_ == 0 && l1_count_ == 0 && overflow_head_ == overflow_.size()) return false;
+    advance();
+  }
+  return true;
+}
+
+std::size_t EventQueue::stored_events() const {
+  return (due_.size() - due_head_) + l0_count_ + l1_count_ + (overflow_.size() - overflow_head_);
 }
 
 void EventQueue::purge_cancelled() {
-  while (!heap_.empty() && heap_.top().state && heap_.top().state->cancelled) heap_.pop();
-}
-
-bool EventQueue::empty() {
-  purge_cancelled();
-  return heap_.empty();
+  const auto stale = [this](const Event& ev) {
+    return ev.slot != kNoSlot && slots_[ev.slot].gen != ev.gen;
+  };
+  due_.erase(std::remove_if(due_.begin() + static_cast<std::ptrdiff_t>(due_head_), due_.end(),
+                            stale),
+             due_.end());
+  for (auto& bucket : l0_) {
+    const auto n = bucket.size();
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(), stale), bucket.end());
+    l0_count_ -= n - bucket.size();
+  }
+  for (auto& bucket : l1_) {
+    const auto n = bucket.size();
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(), stale), bucket.end());
+    l1_count_ -= n - bucket.size();
+  }
+  overflow_.erase(
+      std::remove_if(overflow_.begin() + static_cast<std::ptrdiff_t>(overflow_head_),
+                     overflow_.end(), stale),
+      overflow_.end());
 }
 
 bool EventQueue::run_one() {
-  purge_cancelled();
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; the event must be moved out before the
-  // callback runs because the callback may push new events.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  now_ = ev.time;
-  if (ev.state) ev.state->fired = true;
-  ++processed_;
-  ev.cb();
-  return true;
+  for (;;) {
+    if (!peek_due()) return false;
+    Event ev = std::move(due_[due_head_++]);
+    if (ev.slot != kNoSlot && !consume_slot(ev)) continue;  // cancelled, reclaim silently
+    assert(live_ > 0);
+    --live_;
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
+    return true;
+  }
 }
 
 void EventQueue::run_until(SimTime t) {
   stopped_ = false;
-  for (;;) {
-    purge_cancelled();
-    if (heap_.empty() || heap_.top().time > t || stopped_) break;
-    run_one();
+  while (!stopped_) {
+    if (!peek_due()) break;
+    // due_ front is the global minimum, so one comparison bounds the run.
+    if (due_[due_head_].time > t) break;
+    Event ev = std::move(due_[due_head_++]);
+    if (ev.slot != kNoSlot && !consume_slot(ev)) continue;
+    assert(live_ > 0);
+    --live_;
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
   }
   if (!stopped_ && now_ < t) now_ = t;
 }

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hermes::sim {
+
+/// A move-only callable wrapper with *fixed* inline storage and no heap
+/// fallback: constructing it from a callable larger than `Capacity` (or
+/// over-aligned beyond `alignof(std::max_align_t)`) is a compile error,
+/// never a silent allocation. This is what makes the event hot path
+/// allocation-free — a `std::function` would heap-allocate for any
+/// capture past its small-buffer optimization (typically 16 bytes; a
+/// packet-hop lambda capturing a ~100-byte Packet always spills).
+///
+/// The per-callable dispatch table carries invoke / relocate / destroy,
+/// so moving an InlineFunction (events migrate between time-wheel
+/// buckets) costs one indirect call and a small memcpy-equivalent.
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  static constexpr std::size_t capacity() { return Capacity; }
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= Capacity,
+                  "callable capture exceeds the InlineFunction capacity; shrink the "
+                  "capture (or raise EventQueue::kInlineCallbackBytes)");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "callable is over-aligned for InlineFunction storage");
+    // Relocation (and therefore InlineFunction's move) is declared
+    // noexcept: a capture whose move constructor actually throws would
+    // terminate. Captures are value aggregates in practice; keeping the
+    // move noexcept is what lets vector growth in the scheduler relocate
+    // events instead of copying them.
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    ops_ = &kOps<D>;
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept : ops_{o.ops_} {
+    if (ops_) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  ///< move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+}  // namespace hermes::sim

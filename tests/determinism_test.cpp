@@ -1,0 +1,98 @@
+// Golden-seed determinism gate for the simulator core.
+//
+// The event queue's contract is a strict total order on (time,
+// scheduling sequence); as long as that holds, a fixed-seed scenario
+// produces byte-identical per-flow FCT output no matter how the queue
+// is implemented (binary heap, time wheel, ...) or whether sweep cells
+// run serially or on the ParallelRunner. The golden hash below was
+// recorded against the original binary-heap EventQueue; the time-wheel
+// replacement must — and does — reproduce it exactly. If an intentional
+// behaviour change (transport logic, RNG consumption order, CSV format)
+// shifts the hash, re-record it and say so in the commit message;
+// anything else reaching this assertion is a scheduling-order bug.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hermes/harness/parallel_runner.hpp"
+#include "hermes/harness/scenario.hpp"
+#include "hermes/stats/csv.hpp"
+#include "hermes/workload/flow_gen.hpp"
+#include "hermes/workload/size_dist.hpp"
+
+namespace hermes {
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Cell {
+  harness::Scheme scheme;
+  double load;
+};
+
+const std::vector<Cell>& cells() {
+  static const std::vector<Cell> c = {
+      {harness::Scheme::kEcmp, 0.5},  {harness::Scheme::kEcmp, 0.8},
+      {harness::Scheme::kConga, 0.5}, {harness::Scheme::kConga, 0.8},
+      {harness::Scheme::kHermes, 0.5}, {harness::Scheme::kHermes, 0.8},
+  };
+  return c;
+}
+
+std::string run_cell_csv(const Cell& cell) {
+  harness::ScenarioConfig cfg;
+  cfg.topo.num_leaves = 4;
+  cfg.topo.num_spines = 4;
+  cfg.topo.hosts_per_leaf = 8;
+  cfg.scheme = cell.scheme;
+  cfg.seed = 7;
+  cfg.max_sim_time = sim::sec(10);
+  harness::Scenario s{cfg};
+  workload::TrafficConfig tc;
+  tc.load = cell.load;
+  tc.num_flows = 80;
+  tc.seed = 7;
+  s.add_flows(
+      workload::generate_poisson_traffic(s.topology(), workload::SizeDist::web_search(), tc));
+  return stats::to_csv(s.run());
+}
+
+// Recorded with the pre-wheel binary-heap EventQueue (std::function
+// callbacks, shared_ptr cancellation). 19856 bytes of per-flow CSV.
+constexpr std::uint64_t kGoldenHash = 0xa490e4896445aaecull;
+
+TEST(Determinism, GoldenSeedFctHashMatchesHeapBaseline) {
+  std::string all;
+  for (const Cell& c : cells()) all += run_cell_csv(c);
+  EXPECT_EQ(fnv1a64(all), kGoldenHash)
+      << "fixed-seed per-flow FCT output changed (" << all.size()
+      << " bytes) — scheduling-order regression, or an intentional "
+         "change that must re-record the golden hash";
+}
+
+TEST(Determinism, ParallelSweepIsByteIdenticalToSerial) {
+  std::string serial;
+  for (const Cell& c : cells()) serial += run_cell_csv(c);
+
+  const harness::ParallelRunner runner{4};
+  const auto parts = runner.map<std::string>(
+      cells().size(), [](std::size_t i) { return run_cell_csv(cells()[i]); });
+  std::string parallel;
+  for (const auto& p : parts) parallel += p;
+
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(fnv1a64(parallel), kGoldenHash);
+}
+
+}  // namespace
+}  // namespace hermes
