@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +60,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace {
 
 using namespace hermes;
+// hermeslint:allow(determinism.clock) the microbench reports real wall-clock throughput (events/s, pkts/s); sim results never read this clock
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {

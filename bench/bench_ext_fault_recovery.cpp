@@ -22,7 +22,9 @@
 // failed spine); CONGA also strands flows (the blackholed path looks
 // idle).
 
-#include <unordered_map>
+#include <cstddef>
+#include <cstdint>
+#include <map>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -115,10 +117,14 @@ int main(int argc, char** argv) {
             return static_cast<std::int64_t>(snd->snd_una());
           return -1;
         };
-        std::unordered_map<std::uint64_t, std::int64_t> una0;
-        std::unordered_map<std::uint64_t, std::int32_t> srcs;
+        // Ordered maps: the t2 sweep below iterates them, and the stall
+        // count must not depend on hash order if it ever turns into a
+        // per-flow report.
+        std::map<std::uint64_t, std::int64_t> una0;
+        std::map<std::uint64_t, std::int32_t> srcs;
         s.simulator().at(t2 - msec(10), [&] {
-          for (const auto& [id, spec] : s.active_flows()) {
+          for (const std::uint64_t id : s.sorted_active_ids()) {
+            const transport::FlowSpec& spec = s.active_flows().at(id);
             una0[id] = una_of(id, spec.src);
             srcs[id] = spec.src;
           }

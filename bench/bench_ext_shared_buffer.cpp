@@ -3,6 +3,9 @@
 // buffer model interacts with incast and with the load balancer: static
 // per-port carving vs one Dynamic Threshold pool of the same total size.
 
+#include <cstdint>
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {

@@ -4,6 +4,9 @@
 // parameters) and DRILL (per-packet switch-local; the paper's §7 argues
 // it suffers congestion mismatch under asymmetry).
 
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {

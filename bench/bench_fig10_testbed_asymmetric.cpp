@@ -5,6 +5,7 @@
 // Presto* (even with topology-dependent weights) collapses past 60% load
 // due to congestion mismatch; ECMP deteriorates beyond 40-50%.
 
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"

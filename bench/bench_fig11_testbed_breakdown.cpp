@@ -5,6 +5,8 @@
 // Paper claims: Hermes 12-30% better than CLOVE-ECN across flow size
 // groups; Presto* suffers most on large flows under high load.
 
+#include <array>
+#include <cstddef>
 #include <vector>
 
 #include "bench_util.hpp"

@@ -16,6 +16,8 @@
 // results: output is byte-identical to a serial run.
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"

@@ -9,6 +9,8 @@
 // 1.5-3.3x better at 90%) because cautious rerouting protects small
 // flows from reordering and congestion mismatch.
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "bench_util.hpp"

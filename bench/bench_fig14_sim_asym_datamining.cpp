@@ -6,6 +6,8 @@
 // only Hermes's timely (non-flowlet) rerouting can resolve collisions of
 // large flows on the degraded 2G links.
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "bench_util.hpp"

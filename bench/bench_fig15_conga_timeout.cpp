@@ -6,6 +6,9 @@
 // degrades it by ~30% — vigorous path changing causes congestion
 // mismatch even for a congestion-aware scheme.
 
+#include <cstdint>
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {

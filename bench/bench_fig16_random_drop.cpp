@@ -8,6 +8,10 @@
 // ECMP because the lossy paths *look* underutilized; LetFlow is second
 // best (drops create flowlets) but still ~1.5x worse.
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {

@@ -9,6 +9,10 @@
 // looks uncongested); Presto* finishes everything (round robin touches
 // all paths) but is slowed; LetFlow escapes eventually via flowlets.
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "hermes/lb/flow_ctx.hpp"
 

@@ -4,6 +4,11 @@
 // (b) impact of the probe interval — 500us probing buys 11-15% over no
 //     probing; shortening to 100us adds only another 1-3%.
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {

@@ -7,6 +7,8 @@
 // (higher) thresholds that prune excess reroutings; steady data-mining
 // prefers aggressive (lower) ones that reroute sooner.
 
+#include <cstdint>
+
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {

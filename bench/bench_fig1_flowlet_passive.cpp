@@ -8,6 +8,11 @@
 // 150us or even 50us timeouts, LetFlow) can never move C or D off the
 // shared path. Ideal rerouting would almost halve their FCT.
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {

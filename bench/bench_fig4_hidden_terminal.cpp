@@ -12,6 +12,11 @@
 // paths are randomized and collision evidence (ECN'd probes) steers
 // bursts away while it is fresh.
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
 #include "bench_util.hpp"
 
 #include "hermes/harness/trace.hpp"

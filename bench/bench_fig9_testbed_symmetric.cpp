@@ -4,6 +4,7 @@
 // CLOVE-ECN by 9-15% at 30-70% load, and performs close to Presto*
 // (which is near-optimal under symmetry).
 
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"

@@ -7,6 +7,10 @@
 //   * trends mirror DCTCP except CONGA gains slightly, because bursty
 //     TCP creates more flowlet gaps.
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {

@@ -6,6 +6,7 @@
 // the defaults are sized to finish in minutes while preserving each
 // result's shape; larger scales tighten the statistics.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "hermes/harness/scenario.hpp"
 #include "hermes/stats/fct.hpp"

@@ -9,8 +9,10 @@
 // optionally tap the signal hooks, and install the instance through
 // ScenarioConfig::wrap_balancer.
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string_view>
 
 #include "hermes/harness/experiment.hpp"
 #include "hermes/stats/table.hpp"

@@ -6,6 +6,7 @@
 //
 //   $ ./incast
 
+#include <cstdint>
 #include <cstdio>
 
 #include "hermes/harness/scenario.hpp"

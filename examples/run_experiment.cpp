@@ -3,9 +3,11 @@
 // point for ad-hoc studies without writing code.
 //
 //   $ ./run_experiment --scheme=hermes --load=0.7 --flows=500
-//   $ ./run_experiment --scheme=conga --workload=datamining --leaves=4 \
+//   $ ./run_experiment --scheme=conga --workload=datamining --leaves=4
 //         --spines=4 --hosts=8 --degrade=0,1,2e9 --drop=3,0.02 --seed=7
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Static-analysis gate: build and run hermeslint over the whole tree.
+#
+#   scripts/lint.sh            human-readable findings, exit 1 if any
+#   scripts/lint.sh --json     findings as JSON on stdout (schema_version 1)
+#
+# hermeslint enforces the project invariants that generic linters can't:
+# determinism (no rand()/wall clocks/unordered iteration feeding results),
+# allocation-freedom in `// HERMES_HOT` regions, and header hygiene.
+# See DESIGN.md "Static analysis & invariants" for the rule catalogue and
+# the suppression syntax (`// hermeslint:allow(<rule>) <reason>`).
+#
+# clang-tidy (config in .clang-tidy) runs as a second stage when the
+# binary exists; it is advisory and absent from most build containers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${HERMES_LINT_JOBS:-$(nproc)}"
+BUILD_DIR="${HERMES_LINT_BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target hermeslint >/dev/null
+
+if [[ "${1:-}" == "--json" ]]; then
+  "$BUILD_DIR"/tools/hermeslint/hermeslint --root=. --json src bench tests examples
+else
+  "$BUILD_DIR"/tools/hermeslint/hermeslint --root=. src bench tests examples
+fi
+
+if command -v clang-tidy >/dev/null 2>&1 && [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "== clang-tidy (advisory) =="
+  git ls-files 'src/**/*.cpp' | xargs -P "$JOBS" -n 4 clang-tidy -p "$BUILD_DIR" --quiet || true
+fi

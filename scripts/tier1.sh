@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a change must pass before it lands.
 #
-#   1. Default (RelWithDebInfo) build + full ctest suite.
-#   2. Release (-O2, NDEBUG) build + `bench_core_micro --smoke`, proving
+#   1. Default (RelWithDebInfo) build with -Werror + full ctest suite
+#      (includes the hermeslint fixture tests and the tree-clean check).
+#   2. hermeslint over the whole tree — zero findings required; see
+#      DESIGN.md "Static analysis & invariants" for the rules.
+#   3. Release (-O2, NDEBUG) build + `bench_core_micro --smoke`, proving
 #      the perf-measurement path itself stays alive (full numbers go to
 #      BENCH_core.json; see EXPERIMENTS.md).
-#   3. TSan build (HERMES_SANITIZE=thread) running the parallel-runner
+#   4. TSan build (HERMES_SANITIZE=thread) running the parallel-runner
 #      and determinism tests — the threaded sweep path must be race-free.
 #      Skip with HERMES_TIER1_TSAN=0 (e.g. on machines without TSan).
 #
@@ -15,24 +18,27 @@ cd "$(dirname "$0")/.."
 
 JOBS="${HERMES_TIER1_JOBS:-$(nproc)}"
 
-echo "== [1/3] build + ctest (RelWithDebInfo) =="
-cmake -B build -S . >/dev/null
+echo "== [1/4] build (-Werror) + ctest (RelWithDebInfo) =="
+cmake -B build -S . -DHERMES_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/3] Release build + bench_core_micro --smoke =="
+echo "== [2/4] hermeslint =="
+./build/tools/hermeslint/hermeslint --root=. src bench tests examples
+
+echo "== [3/4] Release build + bench_core_micro --smoke =="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "$JOBS" --target bench_core_micro
 (cd build-rel && ./bench/bench_core_micro --smoke --json=BENCH_core_smoke.json)
 
 if [[ "${HERMES_TIER1_TSAN:-1}" == "1" ]]; then
-  echo "== [3/3] TSan build + parallel sweep tests =="
+  echo "== [4/4] TSan build + parallel sweep tests =="
   cmake -B build-tsan -S . -DHERMES_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target hermes_tests
   ./build-tsan/tests/hermes_tests \
     --gtest_filter='ParallelRunner.*:Determinism.ParallelSweepIsByteIdenticalToSerial'
 else
-  echo "== [3/3] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
+  echo "== [4/4] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
 fi
 
 echo "tier-1: OK"

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <limits>
 #include <utility>
+#include <vector>
 
 namespace hermes::core {
 

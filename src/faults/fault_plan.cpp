@@ -1,3 +1,7 @@
+#include <cstdint>
+#include <functional>
+#include <string>
+
 #include "hermes/faults/fault_plan.hpp"
 
 namespace hermes::faults {

@@ -1,5 +1,7 @@
 #include "hermes/faults/fault_scheduler.hpp"
 
+#include <cstddef>
+#include <string>
 #include <utility>
 
 namespace hermes::faults {

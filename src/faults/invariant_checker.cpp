@@ -1,6 +1,10 @@
 #include "hermes/faults/invariant_checker.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <utility>
+#include <vector>
 
 namespace hermes::faults {
 

@@ -1,3 +1,5 @@
+#include <cstdint>
+
 #include "hermes/faults/random_faults.hpp"
 
 namespace hermes::faults {

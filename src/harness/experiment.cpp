@@ -1,3 +1,5 @@
+#include <cstdint>
+
 #include "hermes/harness/experiment.hpp"
 
 namespace hermes::harness {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -129,6 +130,10 @@ class Scenario {
     return active_;
   }
   [[nodiscard]] std::uint64_t next_flow_id() { return next_flow_id_++; }
+
+  /// In-flight flow ids in ascending order — the deterministic view of
+  /// active_flows() for anything that feeds results or reports.
+  [[nodiscard]] std::vector<std::uint64_t> sorted_active_ids() const;
 
  private:
   void build_balancer();

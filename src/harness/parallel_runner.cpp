@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdlib>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 namespace hermes::harness {
 

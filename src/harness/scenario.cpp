@@ -1,7 +1,12 @@
 #include "hermes/harness/scenario.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "hermes/lb/ecmp.hpp"
 #include "hermes/lb/spray.hpp"
@@ -76,7 +81,8 @@ Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
     checker_->set_flow_snapshot([this] {
       std::vector<faults::FlowProgress> snap;
       snap.reserve(active_.size());
-      for (const auto& [id, spec] : active_) {
+      for (const std::uint64_t id : sorted_active_ids()) {
+        const transport::FlowSpec& spec = active_.at(id);
         if (transport::TcpSender* snd = stacks_[spec.src]->sender(id)) {
           snap.push_back({id, snd->snd_una()});
         }
@@ -177,12 +183,27 @@ std::uint64_t Scenario::add_flow(std::int32_t src, std::int32_t dst, std::uint64
   return f.id;
 }
 
+std::vector<std::uint64_t> Scenario::sorted_active_ids() const {
+  // active_ is an unordered_map; anything that feeds results (collector
+  // records, invariant snapshots) must not inherit its hash order, or
+  // fixed-seed output would differ across standard libraries.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(active_.size());
+  for (const auto& [id, spec] : active_) {  // hermeslint:allow(determinism.unordered-iter) key harvest only; sorted on the next line before anything consumes the order
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 stats::FctCollector Scenario::run() {
   simulator_->run_until(config_.max_sim_time);
   // Whatever is still active never finished within the time cap; pull the
   // live sender counters so unfinished records still carry timeout and
-  // retransmission statistics.
-  for (const auto& [id, spec] : active_) {
+  // retransmission statistics, in flow-id order (not hash order) so the
+  // emitted record stream is byte-stable across library versions.
+  for (const std::uint64_t id : sorted_active_ids()) {
+    const transport::FlowSpec& spec = active_.at(id);
     if (transport::TcpSender* snd = stacks_[spec.src]->sender(id)) {
       transport::FlowRecord r = snd->record();
       r.finished = false;

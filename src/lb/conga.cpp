@@ -1,6 +1,8 @@
 #include "hermes/lb/conga.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 
 namespace hermes::lb {
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <string_view>
+
 #include "hermes/lb/load_balancer.hpp"
 #include "hermes/net/topology.hpp"
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string_view>
+
 #include "hermes/lb/load_balancer.hpp"
 #include "hermes/net/topology.hpp"
 #include "hermes/sim/rng.hpp"

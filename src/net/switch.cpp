@@ -1,6 +1,9 @@
 #include "hermes/net/switch.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <utility>
 
 namespace hermes::net {
@@ -23,6 +26,8 @@ int Switch::add_port(PortConfig config, Device* peer, int peer_in_port) {
   return idx;
 }
 
+// HERMES_HOT: the fabric forwarding path — every packet crosses this
+// once per hop; no allocation allowed.
 void Switch::receive(Packet p, int /*in_port*/) {
   // Failure injectors model silent switch malfunctions: the packet vanishes
   // with no NACK, no ICMP, no counter visible to the load balancer.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace hermes::net {
 

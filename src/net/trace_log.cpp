@@ -1,6 +1,10 @@
 #include "hermes/net/trace_log.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 namespace hermes::net {
 

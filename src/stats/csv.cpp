@@ -1,6 +1,8 @@
 #include "hermes/stats/csv.hpp"
 
+#include <cstddef>
 #include <cstdio>
+#include <string>
 
 namespace hermes::stats {
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 

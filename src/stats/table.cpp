@@ -1,7 +1,10 @@
 #include "hermes/stats/table.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 namespace hermes::stats {
 

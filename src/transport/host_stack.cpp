@@ -1,6 +1,8 @@
 #include "hermes/transport/host_stack.hpp"
 
 #include <cassert>
+#include <cstdint>
+#include <memory>
 #include <utility>
 
 namespace hermes::transport {

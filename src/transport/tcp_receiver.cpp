@@ -1,6 +1,7 @@
 #include "hermes/transport/tcp_receiver.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 
 namespace hermes::transport {

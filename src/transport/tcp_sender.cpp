@@ -1,6 +1,7 @@
 #include "hermes/transport/tcp_sender.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <utility>
 
@@ -42,6 +43,7 @@ void TcpSender::start() {
   send_window();
 }
 
+// HERMES_HOT: window pump, runs on start and after every ACK.
 void TcpSender::send_window() {
   if (finished_) return;
   for (;;) {
@@ -56,6 +58,7 @@ void TcpSender::send_window() {
   if (snd_nxt_ > snd_una_ && !rto_timer_.pending()) arm_rto();
 }
 
+// HERMES_HOT: builds and routes one data segment (per-packet).
 void TcpSender::transmit_segment(std::uint64_t seq, std::uint32_t len) {
   const sim::SimTime now = simulator_.now();
   const bool is_retransmit = seq < max_sent_;
@@ -100,6 +103,7 @@ void TcpSender::transmit_segment(std::uint64_t seq, std::uint32_t len) {
   send_(std::move(p));
 }
 
+// HERMES_HOT: per-ACK bookkeeping — cwnd, RTT, dup-ACK, DCTCP alpha.
 void TcpSender::on_ack(const net::Packet& ack) {
   if (finished_ || !started_) return;
   lb_.on_ack(ctx_, ack);

@@ -1,7 +1,10 @@
 #include "hermes/workload/flow_gen.hpp"
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 namespace hermes::workload {
 

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 namespace hermes::workload {
 

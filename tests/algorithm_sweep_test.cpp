@@ -3,6 +3,7 @@
 // behaviour for Algorithm 2, and DCTCP window arithmetic under swept
 // marking patterns.
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <deque>

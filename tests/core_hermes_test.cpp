@@ -2,6 +2,8 @@
 // decisions and cautious gates, blackhole detection per host pair, and
 // power-of-two-choices probing.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <set>

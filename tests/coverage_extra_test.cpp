@@ -2,6 +2,7 @@
 // boundary arithmetic, CLOVE draw statistics, host-stack probe plumbing,
 // event-queue interleavings, and DRE quantization sweeps.
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <map>
@@ -82,7 +83,9 @@ TEST(SprayMath, FlowcellBoundaryIsExact) {
   for (int i = 0; i < 12; ++i) seq.push_back(lb.select_path(f, p));
   for (int i = 0; i + 1 < 12; i += 2) {
     EXPECT_EQ(seq[i], seq[i + 1]);
-    if (i + 2 < 12) EXPECT_NE(seq[i + 1], seq[i + 2]);
+    if (i + 2 < 12) {
+      EXPECT_NE(seq[i + 1], seq[i + 2]);
+    }
   }
 }
 

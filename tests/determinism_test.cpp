@@ -11,6 +11,7 @@
 // shifts the hash, re-record it and say so in the commit message;
 // anything else reaching this assertion is a scheduling-order bug.
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -78,6 +79,57 @@ TEST(Determinism, GoldenSeedFctHashMatchesHeapBaseline) {
       << "fixed-seed per-flow FCT output changed (" << all.size()
       << " bytes) — scheduling-order regression, or an intentional "
          "change that must re-record the golden hash";
+}
+
+// Unfinished flows are emitted from Scenario::active_, an unordered_map.
+// Before sorted_active_ids() the emission inherited libstdc++'s hash
+// order, so the record stream (and any CSV diff, golden hash, or
+// downstream join on it) silently depended on the standard library.
+// This pins the fix: cap the run so most flows never finish, and the
+// unfinished tail must come out in ascending flow-id order with
+// byte-identical CSV on a re-run.
+TEST(Determinism, UnfinishedFlowEmissionIsFlowIdOrdered) {
+  const auto run_truncated = [] {
+    harness::ScenarioConfig cfg;
+    cfg.topo.num_leaves = 4;
+    cfg.topo.num_spines = 4;
+    cfg.topo.hosts_per_leaf = 8;
+    cfg.scheme = harness::Scheme::kHermes;
+    cfg.seed = 11;
+    cfg.max_sim_time = sim::msec(30);  // tight cap: the big flows stay active
+    harness::Scenario s{cfg};
+    // Mix finished and unfinished: 10KB mice complete in microseconds,
+    // 100MB elephants cannot finish inside 30ms even at line rate.
+    for (int h = 0; h < 24; ++h) {
+      const std::int32_t src = s.topology().first_host_of_leaf(h % 4) + h % 8;
+      const std::int32_t dst = s.topology().first_host_of_leaf((h + 1) % 4) + (h + 3) % 8;
+      s.add_flow(src, dst, 10'000, sim::msec(1));
+      s.add_flow(src, dst, 100'000'000, sim::msec(2));
+    }
+    return s.run();
+  };
+
+  const auto fct = run_truncated();
+  ASSERT_GT(fct.unfinished_flows(), 10u) << "cap too generous to exercise the tail";
+
+  // The unfinished suffix of the record stream is sorted by flow id.
+  const auto& recs = fct.records();
+  std::uint64_t prev_id = 0;
+  bool in_tail = false;
+  for (const auto& r : recs) {
+    if (r.finished) {
+      ASSERT_FALSE(in_tail) << "finished record after the unfinished tail began";
+      continue;
+    }
+    if (in_tail) {
+      EXPECT_LT(prev_id, r.id) << "unfinished records not in flow-id order";
+    }
+    in_tail = true;
+    prev_id = r.id;
+  }
+
+  // And the whole stream is byte-stable across identical runs.
+  EXPECT_EQ(stats::to_csv(fct), stats::to_csv(run_truncated()));
 }
 
 TEST(Determinism, ParallelSweepIsByteIdenticalToSerial) {

@@ -1,7 +1,10 @@
 // Tests for the library extensions: WCMP, CSV export, the packet-event
 // TraceLog, and shared-buffer (Dynamic Threshold) switches.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
 
 #include <map>
 

@@ -4,7 +4,10 @@
 // and the determinism regression (same seed + same fault plan => byte
 // identical FCT statistics).
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <map>
 

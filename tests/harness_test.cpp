@@ -2,7 +2,10 @@
 // run semantics, balancer decoration, traces, and the path-usage
 // recorder.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "hermes/harness/experiment.hpp"
 #include "hermes/harness/scenario.hpp"

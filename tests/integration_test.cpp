@@ -2,7 +2,9 @@
 // qualitative claims on small fabrics — asymmetry handling, flowlet
 // passivity (Example 1), switch-failure detection, and visibility.
 
+#include <functional>
 #include <gtest/gtest.h>
+#include <map>
 
 #include "hermes/harness/experiment.hpp"
 #include "hermes/harness/scenario.hpp"

@@ -2,6 +2,7 @@
 // metrics, feedback loop, aging, and flowlet behaviour; CLOVE-ECN's
 // ECN-driven weight adaptation.
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <set>

@@ -2,6 +2,7 @@
 // flow-level rehashing on congestion) and DRILL (switch-local
 // power-of-d-choices per packet).
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <set>

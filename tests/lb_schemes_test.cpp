@@ -1,7 +1,10 @@
 // Unit tests for the baseline load balancers: ECMP hashing, DRB/Presto*
 // spraying (weighted and unweighted), and LetFlow flowlet switching.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <map>
 #include <set>

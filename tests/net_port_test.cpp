@@ -1,6 +1,7 @@
 // Unit tests for Port: drop-tail queueing, ECN step marking, strict
 // priority, serialization/propagation timing, stats, and the DRE.
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <vector>

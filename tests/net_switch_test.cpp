@@ -1,6 +1,7 @@
 // Unit tests for Switch: source-route forwarding, CONGA stamping on
 // fabric ports, and the failure injectors (blackhole, silent random drop).
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <vector>

@@ -2,6 +2,7 @@
 // asymmetry (rate overrides, link cuts), route building, and the derived
 // quantities (bisection, base RTT, one-hop delay).
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include "hermes/net/topology.hpp"

@@ -5,6 +5,7 @@
 // (HERMES_SANITIZE=thread): Scenario instances must share no mutable
 // state, and the runner itself must be race-free.
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <atomic>

@@ -2,7 +2,10 @@
 // and load — byte conservation, FCT lower bounds, determinism, in-order
 // app-level delivery — swept with parameterized gtest.
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 #include <string>
 #include <tuple>

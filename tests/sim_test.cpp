@@ -1,6 +1,7 @@
 // Unit tests for the simulation core: time arithmetic, the event queue's
 // ordering/cancellation semantics, and deterministic RNG streams.
 
+#include <functional>
 #include <gtest/gtest.h>
 
 #include <vector>

@@ -9,6 +9,7 @@
 // anything beyond sits in the sorted overflow list. The times below are
 // chosen to land in specific tiers.
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <algorithm>

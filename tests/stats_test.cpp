@@ -1,7 +1,10 @@
 // Tests for the stats module: percentile math, FCT summaries and size
 // bins, unfinished-flow accounting, and the table renderer.
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 #include "hermes/stats/fct.hpp"
 #include "hermes/stats/table.hpp"

@@ -3,7 +3,10 @@
 // growth, fast-recovery arithmetic, and the receiver's reorder-hold
 // timing boundary.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <deque>
 

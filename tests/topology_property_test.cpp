@@ -4,7 +4,10 @@
 // route must bring the reply back to the source. This pins down the
 // port-indexing arithmetic for all topology shapes at once.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <string>
 #include <tuple>

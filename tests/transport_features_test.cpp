@@ -1,6 +1,8 @@
 // Tests for the optional substrate features: RED-style ECN marking and
 // DCTCP delayed ACKs with the CE-change flush rule.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <vector>

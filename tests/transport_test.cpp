@@ -2,6 +2,7 @@
 // window cut, fast retransmit, RTO), receiver ACK/reorder semantics, and
 // flow completion accounting, exercised end-to-end through tiny fabrics.
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "hermes/harness/scenario.hpp"

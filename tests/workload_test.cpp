@@ -1,7 +1,10 @@
 // Tests for the workload module: CDF validity, inverse-transform
 // sampling statistics, and the Poisson open-loop flow generator.
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <set>
 
 #include <map>
 

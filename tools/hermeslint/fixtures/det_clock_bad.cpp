@@ -1,0 +1,13 @@
+// Fixture: every determinism.clock trigger. Never compiled.
+#include <chrono>
+#include <ctime>
+
+long wall_readings() {
+  auto a = std::chrono::system_clock::now();
+  auto b = std::chrono::steady_clock::now();
+  auto c = std::chrono::high_resolution_clock::now();
+  long t = time(nullptr);
+  t += std::time(nullptr);
+  return t + a.time_since_epoch().count() + b.time_since_epoch().count() +
+         c.time_since_epoch().count();
+}

@@ -1,0 +1,21 @@
+// Fixture: sim-time idioms that must NOT be flagged as wall clocks.
+#include <cstdint>
+
+struct SimTime {
+  std::int64_t ns = 0;
+};
+
+struct Simulator {
+  SimTime now() const { return t_; }
+  SimTime t_;
+};
+
+struct Flow {
+  SimTime start_time() const { return start_; }
+  SimTime start_;
+};
+
+// `sim.time(...)`-style member calls, declarations `SimTime time(...)`, and
+// identifiers that merely contain "time" are all fine.
+SimTime time_of(const Flow& f) { return f.start_time(); }
+SimTime make_time(std::int64_t ns) { return SimTime{ns}; }

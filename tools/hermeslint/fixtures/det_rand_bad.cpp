@@ -1,0 +1,11 @@
+// Fixture: every determinism.rand trigger. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int entropy_soup() {
+  int x = rand();              // free call
+  x += std::rand();            // std-qualified call
+  srand(42);                   // seeding the global stream is just as bad
+  std::random_device rd;       // hardware entropy
+  return x + static_cast<int>(rd());
+}

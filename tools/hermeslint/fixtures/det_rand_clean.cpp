@@ -1,0 +1,17 @@
+// Fixture: deterministic randomness idioms that must NOT be flagged.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t next();
+  double chance(double p);
+};
+
+struct Thing {
+  Rng rng_;
+  // A *member* named rand is not ::rand(); strings and comments that say
+  // rand() or "std::random_device" are not code.
+  std::uint64_t rand() { return rng_.next(); }
+  std::uint64_t draw() { return rng_.rand(); }
+};
+
+const char* doc() { return "call rand() and std::random_device at your peril"; }

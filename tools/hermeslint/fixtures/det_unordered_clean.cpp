@@ -1,0 +1,27 @@
+// Fixture: unordered containers used safely — no range-for over them.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Holder {
+  std::unordered_map<std::uint64_t, int> scores_;
+};
+
+int lookup(const Holder& h, std::uint64_t id) {
+  const auto it = h.scores_.find(id);  // keyed lookup: order-free
+  return it == h.scores_.end() ? 0 : it->second;
+}
+
+std::vector<int> sorted_emission(const Holder& h, const std::vector<std::uint64_t>& ids) {
+  std::vector<int> out;
+  for (std::uint64_t id : ids) {  // iteration over a vector is fine
+    out.push_back(lookup(h, id));
+  }
+  std::map<int, int> ordered;
+  for (const auto& [k, v] : ordered) {  // std::map iterates in key order
+    out.push_back(k + v);
+  }
+  return out;
+}

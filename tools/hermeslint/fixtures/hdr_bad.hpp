@@ -1,0 +1,23 @@
+// Fixture: every header-hygiene trigger. Never compiled.
+// (1) no #pragma once at the top — the guard below is not enough.
+#ifndef HDR_BAD_HPP
+#define HDR_BAD_HPP
+
+#include <map>
+
+// (2) namespace-scope using-namespace in a header.
+using namespace std;
+
+namespace fixture {
+
+// (3) transitive-include reliance: std::vector and std::unique_ptr are
+// used but <vector> and <memory> are never included directly.
+struct Registry {
+  std::map<int, int> ordered;
+  std::vector<int> values;
+  std::unique_ptr<int> owner;
+};
+
+}  // namespace fixture
+
+#endif  // HDR_BAD_HPP

@@ -1,0 +1,17 @@
+#pragma once
+
+// Fixture: a hygienic header — no findings.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Registry {
+  std::map<int, std::uint64_t> ordered;
+  std::vector<int> values;
+  std::unique_ptr<int> owner;
+};
+
+}  // namespace fixture

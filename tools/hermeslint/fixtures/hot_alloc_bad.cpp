@@ -1,0 +1,21 @@
+// Fixture: hotpath.alloc triggers inside HERMES_HOT regions. Never compiled.
+#include <functional>
+#include <memory>
+
+struct Packet {
+  int size = 0;
+};
+
+// HERMES_HOT
+void forward(Packet* p) {
+  auto* copy = new Packet(*p);          // heap per packet
+  auto shared = std::make_shared<Packet>(*p);
+  auto owned = std::make_unique<Packet>(*p);
+  std::function<void()> cb = [copy] { delete copy; };
+  cb();
+  (void)shared;
+  (void)owned;
+}
+
+// Untagged code may allocate freely: this function must NOT be flagged.
+Packet* cold_setup() { return new Packet(); }

@@ -1,0 +1,19 @@
+// Fixture: HERMES_HOT code using inline/pooled storage — no findings.
+#include <cstdint>
+
+template <int N>
+struct InlineFunction {
+  char storage[N];
+};
+
+struct Packet {
+  std::uint32_t size = 0;
+};
+
+// HERMES_HOT
+std::uint64_t forward(Packet& p, std::uint64_t acc) {
+  InlineFunction<64> cb{};  // inline storage, no heap
+  (void)cb;
+  acc += p.size;            // arithmetic only
+  return acc;
+}

@@ -1,0 +1,18 @@
+// Fixture: audited growth in a HERMES_HOT region — no findings.
+#include <cstddef>
+#include <vector>
+
+struct Packet {
+  int size = 0;
+};
+
+struct Queue {
+  std::vector<Packet> q_;
+  void reserve(int n) { q_.reserve(static_cast<std::size_t>(n)); }
+
+  // HERMES_HOT
+  void enqueue(Packet p) {
+    // hermeslint:reserve-audited(capacity reserved up front in reserve(); steady state never grows)
+    q_.push_back(p);
+  }
+};

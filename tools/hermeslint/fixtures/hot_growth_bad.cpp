@@ -1,0 +1,15 @@
+// Fixture: hotpath.container-growth trigger. Never compiled.
+#include <vector>
+
+struct Packet {
+  int size = 0;
+};
+
+struct Queue {
+  std::vector<Packet> q_;
+
+  // HERMES_HOT
+  void enqueue(Packet p) {
+    q_.push_back(p);  // unaudited growth on the hot path
+  }
+};

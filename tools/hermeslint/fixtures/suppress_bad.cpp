@@ -1,0 +1,12 @@
+// Fixture: malformed suppressions must each yield a meta.suppression
+// finding, and a reasonless allow must not silence its target.
+#include <cstdlib>
+
+int bad_directives() {
+  // hermeslint:allow(determinism.rand)
+  int a = rand();  // reasonless allow: suppresses, but is itself a finding
+  // hermeslint:allow(no.such.rule) misspelled rule ids must be rejected
+  int b = rand();  // not suppressed: the directive above named no real rule
+  // hermeslint:frobnicate(x) unknown directive verb
+  return a + b;
+}

@@ -1,0 +1,13 @@
+// Fixture: real violations silenced by well-formed suppressions — zero
+// findings, three recorded suppressions with reasons.
+#include <chrono>
+#include <cstdlib>
+
+long measured_wall_time() {
+  // hermeslint:allow(determinism.clock) bench harness measures real elapsed time
+  auto t0 = std::chrono::steady_clock::now();
+  long x = std::rand();  // hermeslint:allow(determinism.rand) exercising the legacy PRNG under test
+  // hermeslint:allow(determinism.clock) wall duration is the quantity being reported
+  auto t1 = std::chrono::steady_clock::now();
+  return x + (t1 - t0).count();
+}

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes::lint {
+
+/// One physical source line after lexical classification.
+///
+/// `code` is the line with every comment and every string/char-literal
+/// *body* blanked out by spaces (delimiters kept), so rule regexes can
+/// match tokens without being fooled by `"rand()"` inside a string or a
+/// mention of `new` in prose. Column positions are preserved: code[i]
+/// lines up with raw[i].
+///
+/// `comment` is the concatenated text of all comments that appear on the
+/// line (line comments and the portions of block comments), which is
+/// where suppression directives and HERMES_HOT tags live.
+struct Line {
+  std::string raw;
+  std::string code;
+  std::string comment;
+};
+
+/// Lexical scan of a whole file. Handles //, /* */ (multi-line),
+/// "strings" with escapes, 'chars', and R"delim(raw strings)delim".
+/// Keeps preprocessor lines (#include, #pragma) in `code` verbatim.
+class Lexer {
+ public:
+  static std::vector<Line> scan(std::string_view source);
+};
+
+/// True if `text[pos]` starts the identifier `ident` with word
+/// boundaries on both sides.
+bool matches_identifier_at(std::string_view text, std::size_t pos, std::string_view ident);
+
+/// Find the next occurrence of `ident` as a whole identifier in `text`
+/// at or after `from`; npos if none.
+std::size_t find_identifier(std::string_view text, std::string_view ident,
+                            std::size_t from = 0);
+
+}  // namespace hermes::lint

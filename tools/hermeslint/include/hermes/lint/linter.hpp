@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hermes/lint/lexer.hpp"
+
+namespace hermes::lint {
+
+/// One rule violation. `line` is 1-based.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string snippet;
+};
+
+/// A finding that was silenced by a `// hermeslint:allow(<rule>) <reason>`
+/// directive; kept so reports can audit every suppression and its reason.
+struct Suppression {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressed;
+  int files_scanned = 0;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The rule catalogue (stable ids; these are what allow() refers to).
+const std::vector<RuleInfo>& rule_catalogue();
+bool is_known_rule(std::string_view id);
+
+/// Project-specific static analysis over a set of C++ sources.
+///
+/// Usage: add_file() every file (a global pass records the names of all
+/// unordered-container variables so iteration over them can be flagged
+/// across file boundaries), then run() to execute the rule passes.
+class Linter {
+ public:
+  /// `path` is used verbatim in findings; `source` is the file contents.
+  void add_file(std::string path, std::string source);
+  [[nodiscard]] LintResult run() const;
+
+ private:
+  struct File {
+    std::string path;
+    bool is_header = false;
+    std::vector<Line> lines;
+  };
+
+  void collect_unordered_names(const File& f);
+  void lint_file(const File& f, LintResult& out) const;
+
+  std::vector<File> files_;
+  std::vector<std::string> unordered_names_;
+};
+
+/// Serialize a result as the machine-readable report (schema v1):
+/// {"tool","schema_version","findings":[{file,line,rule,message,snippet}],
+///  "suppressed":[{file,line,rule,reason}],"files_scanned","clean"}
+std::string to_json(const LintResult& result);
+
+}  // namespace hermes::lint

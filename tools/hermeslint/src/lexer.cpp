@@ -1,0 +1,169 @@
+#include "hermes/lint/lexer.hpp"
+
+#include <cctype>
+
+namespace hermes::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<Line> Lexer::scan(std::string_view src) {
+  std::vector<Line> lines;
+  lines.emplace_back();
+
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of an active raw string
+
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  {  // Raw text is a straight newline split, independent of lexer state.
+    std::size_t start = 0;
+    std::size_t idx = 0;
+    for (std::size_t p = 0; p <= n; ++p) {
+      if (p == n || src[p] == '\n') {
+        if (idx >= lines.size()) lines.emplace_back();
+        lines[idx].raw = std::string(src.substr(start, p - start));
+        start = p + 1;
+        ++idx;
+      }
+    }
+  }
+  std::size_t li = 0;
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++li;
+      ++i;
+      continue;
+    }
+    Line& line = lines[li];
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+          // Line comment: runs to end of line; capture its text.
+          std::size_t end = src.find('\n', i);
+          if (end == std::string_view::npos) end = n;
+          line.comment.append(src.substr(i + 2, end - i - 2));
+          line.code.append(end - i, ' ');
+          i = end;
+        } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+          state = State::kBlockComment;
+          line.code.append(2, ' ');
+          i += 2;
+        } else if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+                   (line.code.empty() || !is_ident_char(line.code.back()))) {
+          // Raw string R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < n && src[p] != '(' && src[p] != '\n') delim.push_back(src[p++]);
+          if (p < n && src[p] == '(') {
+            raw_delim = ")" + delim + "\"";
+            line.code.append("R\"");
+            line.code.append(delim.size() + 1, ' ');
+            i = p + 1;
+            state = State::kRawString;
+          } else {
+            line.code.push_back(c);
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          line.code.push_back('"');
+          ++i;
+        } else if (c == '\'' && !line.code.empty() &&
+                   (is_ident_char(line.code.back()))) {
+          // Digit separator in a numeric literal (1'000) or suffix
+          // context: not a char literal.
+          line.code.push_back(c);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          line.code.push_back('\'');
+          ++i;
+        } else {
+          line.code.push_back(c);
+          ++i;
+        }
+        break;
+      }
+      case State::kBlockComment: {
+        if (c == '*' && i + 1 < n && src[i + 1] == '/') {
+          state = State::kCode;
+          line.code.append(2, ' ');
+          i += 2;
+        } else {
+          line.comment.push_back(c);
+          line.code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+      case State::kString: {
+        if (c == '\\' && i + 1 < n && src[i + 1] != '\n') {
+          line.code.append(2, ' ');
+          i += 2;
+        } else if (c == '"') {
+          state = State::kCode;
+          line.code.push_back('"');
+          ++i;
+        } else {
+          line.code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+      case State::kChar: {
+        if (c == '\\' && i + 1 < n && src[i + 1] != '\n') {
+          line.code.append(2, ' ');
+          i += 2;
+        } else if (c == '\'') {
+          state = State::kCode;
+          line.code.push_back('\'');
+          ++i;
+        } else {
+          line.code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+      case State::kRawString: {
+        if (c == ')' && src.substr(i, raw_delim.size()) == raw_delim) {
+          line.code.append(raw_delim.size(), ' ');
+          line.code.back() = '"';
+          i += raw_delim.size();
+          state = State::kCode;
+        } else {
+          line.code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+bool matches_identifier_at(std::string_view text, std::size_t pos, std::string_view ident) {
+  if (pos + ident.size() > text.size()) return false;
+  if (text.substr(pos, ident.size()) != ident) return false;
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + ident.size();
+  if (end < text.size() && is_ident_char(text[end])) return false;
+  return true;
+}
+
+std::size_t find_identifier(std::string_view text, std::string_view ident, std::size_t from) {
+  for (std::size_t pos = text.find(ident, from); pos != std::string_view::npos;
+       pos = text.find(ident, pos + 1)) {
+    if (matches_identifier_at(text, pos, ident)) return pos;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace hermes::lint

@@ -1,0 +1,250 @@
+// Fixture-driven tests for hermeslint: each rule must catch its seeded
+// violation, stay quiet on the clean twin, honor suppressions, and emit
+// the documented JSON schema.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hermes/lint/lexer.hpp"
+#include "hermes/lint/linter.hpp"
+
+namespace {
+
+using hermes::lint::Lexer;
+using hermes::lint::Line;
+using hermes::lint::Linter;
+using hermes::lint::LintResult;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(HERMESLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+/// Lints one fixture in isolation (fresh Linter, so unordered-container
+/// names collected from other fixtures cannot leak in).
+LintResult lint_fixture(const std::string& name) {
+  Linter linter;
+  linter.add_file(name, read_fixture(name));
+  return linter.run();
+}
+
+int count_rule(const LintResult& r, const std::string& rule) {
+  return static_cast<int>(std::count_if(r.findings.begin(), r.findings.end(),
+                                        [&](const auto& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------- lexer
+
+TEST(LexerTest, StripsCommentsAndStringsButKeepsPositions) {
+  const auto lines = Lexer::scan("int x = 1; // rand()\nconst char* s = \"new int\";\n");
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].code.substr(0, 10), "int x = 1;");
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[0].comment.find("rand()"), std::string::npos);
+  EXPECT_EQ(lines[1].code.find("new"), std::string::npos);
+  EXPECT_EQ(lines[1].raw, "const char* s = \"new int\";");
+}
+
+TEST(LexerTest, BlockCommentsSpanLines) {
+  const auto lines = Lexer::scan("/* new\nrand()\n*/ int y;\n");
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].code.find("new"), std::string::npos);
+  EXPECT_EQ(lines[1].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[1].comment.find("rand()"), std::string::npos);
+  EXPECT_NE(lines[2].code.find("int y;"), std::string::npos);
+}
+
+TEST(LexerTest, RawStringsAndCharLiterals) {
+  const auto lines = Lexer::scan("auto r = R\"(new rand())\"; char c = 'n'; int z = 1'000;\n");
+  EXPECT_EQ(lines[0].code.find("rand"), std::string::npos);
+  EXPECT_NE(lines[0].code.find("int z = 1'000;"), std::string::npos);
+}
+
+// ------------------------------------------------------------- rule fixtures
+
+TEST(HermeslintRules, DetRandCatchesSeededViolations) {
+  const LintResult r = lint_fixture("det_rand_bad.cpp");
+  EXPECT_GE(count_rule(r, "determinism.rand"), 4) << "rand, std::rand, srand, random_device";
+  EXPECT_EQ(count_rule(r, "determinism.clock"), 0);
+}
+
+TEST(HermeslintRules, DetRandQuietOnCleanTwin) {
+  const LintResult r = lint_fixture("det_rand_clean.cpp");
+  EXPECT_EQ(count_rule(r, "determinism.rand"), 0) << to_json(r);
+}
+
+TEST(HermeslintRules, DetClockCatchesSeededViolations) {
+  const LintResult r = lint_fixture("det_clock_bad.cpp");
+  // system/steady/high_resolution_clock + free time() + std::time().
+  EXPECT_GE(count_rule(r, "determinism.clock"), 5);
+}
+
+TEST(HermeslintRules, DetClockQuietOnCleanTwin) {
+  const LintResult r = lint_fixture("det_clock_clean.cpp");
+  EXPECT_EQ(count_rule(r, "determinism.clock"), 0) << to_json(r);
+}
+
+TEST(HermeslintRules, UnorderedIterCatchesSeededViolations) {
+  const LintResult r = lint_fixture("det_unordered_bad.cpp");
+  EXPECT_EQ(count_rule(r, "determinism.unordered-iter"), 2) << to_json(r);
+}
+
+TEST(HermeslintRules, UnorderedIterQuietOnCleanTwin) {
+  const LintResult r = lint_fixture("det_unordered_clean.cpp");
+  EXPECT_EQ(count_rule(r, "determinism.unordered-iter"), 0) << to_json(r);
+}
+
+TEST(HermeslintRules, UnorderedIterSeesDeclarationsAcrossFiles) {
+  // The header declares the container; the .cpp iterates it. The pass is
+  // global, mirroring scenario.cpp iterating a member declared in its .hpp.
+  Linter linter;
+  linter.add_file("holder.hpp",
+                  "#pragma once\n#include <unordered_map>\n"
+                  "struct H { std::unordered_map<int, int> cross_file_map_; };\n");
+  linter.add_file("user.cpp",
+                  "#include <vector>\n#include \"holder.hpp\"\n"
+                  "int sum(const H& h) {\n  int s = 0;\n"
+                  "  for (const auto& [k, v] : h.cross_file_map_) s += v;\n  return s;\n}\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "determinism.unordered-iter"), 1) << to_json(r);
+  ASSERT_GE(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].file, "user.cpp");
+}
+
+TEST(HermeslintRules, HotAllocCatchesSeededViolations) {
+  const LintResult r = lint_fixture("hot_alloc_bad.cpp");
+  // new + make_shared + make_unique + std::function.
+  EXPECT_GE(count_rule(r, "hotpath.alloc"), 4) << to_json(r);
+  // The untagged cold_setup() `new` must NOT be flagged.
+  const bool cold_flagged =
+      std::any_of(r.findings.begin(), r.findings.end(), [](const auto& f) {
+        return f.snippet.find("cold_setup") != std::string::npos;
+      });
+  EXPECT_FALSE(cold_flagged);
+}
+
+TEST(HermeslintRules, HotAllocQuietOnCleanTwin) {
+  const LintResult r = lint_fixture("hot_alloc_clean.cpp");
+  EXPECT_EQ(count_rule(r, "hotpath.alloc"), 0) << to_json(r);
+  EXPECT_EQ(count_rule(r, "hotpath.container-growth"), 0) << to_json(r);
+}
+
+TEST(HermeslintRules, HotGrowthNeedsAudit) {
+  const LintResult bad = lint_fixture("hot_growth_bad.cpp");
+  EXPECT_EQ(count_rule(bad, "hotpath.container-growth"), 1) << to_json(bad);
+  const LintResult audited = lint_fixture("hot_growth_audited.cpp");
+  EXPECT_EQ(count_rule(audited, "hotpath.container-growth"), 0) << to_json(audited);
+  EXPECT_TRUE(audited.findings.empty()) << to_json(audited);
+}
+
+TEST(HermeslintRules, FileScopeHotTagCoversWholeFile) {
+  Linter linter;
+  linter.add_file("hot_file.cpp",
+                  "// HERMES_HOT\n#include <memory>\n"
+                  "int* a() { return new int(1); }\n"
+                  "auto b() { return std::make_unique<int>(2); }\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "hotpath.alloc"), 2) << to_json(r);
+}
+
+TEST(HermeslintRules, HeaderHygieneCatchesSeededViolations) {
+  const LintResult r = lint_fixture("hdr_bad.hpp");
+  EXPECT_EQ(count_rule(r, "header.pragma-once"), 1) << to_json(r);
+  EXPECT_EQ(count_rule(r, "header.using-namespace"), 1) << to_json(r);
+  // std::vector and std::unique_ptr lack direct includes; std::map has one.
+  EXPECT_EQ(count_rule(r, "header.direct-include"), 2) << to_json(r);
+}
+
+TEST(HermeslintRules, HeaderHygieneQuietOnCleanTwin) {
+  const LintResult r = lint_fixture("hdr_clean.hpp");
+  EXPECT_TRUE(r.findings.empty()) << to_json(r);
+}
+
+TEST(HermeslintRules, UsingNamespaceAllowedInSourceFiles) {
+  Linter linter;
+  linter.add_file("impl.cpp", "#include <vector>\nusing namespace std;\nvector<int> v;\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "header.using-namespace"), 0) << to_json(r);
+}
+
+// -------------------------------------------------------------- suppressions
+
+TEST(HermeslintSuppression, WellFormedAllowSilencesAndIsRecorded) {
+  const LintResult r = lint_fixture("suppress_ok.cpp");
+  EXPECT_TRUE(r.findings.empty()) << to_json(r);
+  ASSERT_EQ(r.suppressed.size(), 3u);
+  for (const auto& s : r.suppressed) {
+    EXPECT_FALSE(s.reason.empty()) << s.file << ":" << s.line;
+  }
+  EXPECT_EQ(r.suppressed[0].rule, "determinism.clock");
+}
+
+TEST(HermeslintSuppression, MalformedDirectivesAreFindings) {
+  const LintResult r = lint_fixture("suppress_bad.cpp");
+  // reasonless allow + unknown rule + unknown verb.
+  EXPECT_EQ(count_rule(r, "meta.suppression"), 3) << to_json(r);
+  // The allow naming a nonexistent rule must not silence the real finding.
+  EXPECT_EQ(count_rule(r, "determinism.rand"), 1) << to_json(r);
+}
+
+TEST(HermeslintSuppression, SameLineAndPrecedingLineBothWork) {
+  Linter linter;
+  linter.add_file(
+      "s.cpp",
+      "#include <cstdlib>\n"
+      "// hermeslint:allow(determinism.rand) seeding the adversary model\n"
+      "int a = rand();\n"
+      "int b = rand();  // hermeslint:allow(determinism.rand) same-line form\n");
+  const LintResult r = linter.run();
+  EXPECT_TRUE(r.findings.empty()) << to_json(r);
+  EXPECT_EQ(r.suppressed.size(), 2u);
+}
+
+// ---------------------------------------------------------------------- JSON
+
+TEST(HermeslintJson, SchemaFieldsPresent) {
+  const LintResult r = lint_fixture("hdr_bad.hpp");
+  const std::string j = to_json(r);
+  for (const char* key :
+       {"\"tool\": \"hermeslint\"", "\"schema_version\": 1", "\"files_scanned\": 1",
+        "\"clean\": false", "\"findings\": [", "\"suppressed\": [", "\"file\": ", "\"line\": ",
+        "\"rule\": ", "\"message\": ", "\"snippet\": "}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "missing " << key << " in\n" << j;
+  }
+}
+
+TEST(HermeslintJson, CleanResultSaysClean) {
+  const LintResult r = lint_fixture("hdr_clean.hpp");
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"clean\": true"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"findings\": []"), std::string::npos) << j;
+}
+
+TEST(HermeslintJson, EscapesQuotesAndBackslashes) {
+  LintResult r;
+  r.findings.push_back({"a\"b.cpp", 1, "determinism.rand", "msg with \\ and \"quote\"", "x"});
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("a\\\"b.cpp"), std::string::npos) << j;
+  EXPECT_NE(j.find("msg with \\\\ and \\\"quote\\\""), std::string::npos) << j;
+}
+
+// ------------------------------------------------------------------ catalogue
+
+TEST(HermeslintCatalogue, KnownRulesRoundTrip) {
+  for (const auto& rule : hermes::lint::rule_catalogue()) {
+    EXPECT_TRUE(hermes::lint::is_known_rule(rule.id));
+  }
+  EXPECT_FALSE(hermes::lint::is_known_rule("no.such.rule"));
+  EXPECT_FALSE(hermes::lint::is_known_rule(""));
+}
+
+}  // namespace
