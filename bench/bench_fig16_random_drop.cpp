@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
         {.blackhole = nullptr, .random_drop_rate = 0.02});
   };
 
+  bench::MetricsJson mj{"bench_fig16_random_drop"};
+
   for (double load : loads) {
     std::printf("[load %.1f, %d flows, spine %d drops 2%%]\n", load, flows, failed_spine);
     stats::Table t({"scheme", "overall avg", "large avg", "rand drops", "norm. to Hermes"});
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
       std::uint64_t rand_drops = 0;
       auto harvest = [&](harness::Scenario& s) {
         rand_drops = s.topology().spine(failed_spine).random_drops();
+        mj.add_cell(bench::short_name(scheme), load, s.metrics().snapshot_json());
       };
       auto fct =
           bench::skip_warmup(bench::run_cell(cfg, ws, load, flows, 1, install_failure, harvest),
@@ -72,5 +75,6 @@ int main(int argc, char** argv) {
     t.print();
     std::printf("\n");
   }
+  mj.write(bench::parse_json_path(argc, argv, "BENCH_fig16.json"));
   return 0;
 }

@@ -11,10 +11,27 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "hermes/lb/flow_ctx.hpp"
+
+namespace {
+
+// Where the Hermes cell's flight-recorder dump goes (--trace=<path>).
+// `hermestrace <path> --summary` then lists the blackhole latches —
+// flow, path, and leaf pair — that explain the table's "bh drops" column.
+std::string parse_trace_path(int argc, char** argv) {
+  std::string path = "TRACE_fig17_hermes.htrc";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) path = argv[i] + 8;
+  }
+  return path;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hermes;
@@ -34,6 +51,9 @@ int main(int argc, char** argv) {
   const auto ws = workload::SizeDist::web_search();
   const int failed_spine = 2;
 
+  bench::MetricsJson mj{"bench_fig17_blackhole"};
+  const std::string trace_path = parse_trace_path(argc, argv);
+
   for (double load : loads) {
     std::printf("[load %.1f, %d flows, blackhole at spine %d]\n", load, flows, failed_spine);
     stats::Table t({"scheme", "avg FCT (incl. unfinished)", "unfinished", "affected-pair avg",
@@ -49,6 +69,12 @@ int main(int argc, char** argv) {
       cfg.topo = bench::sim_topology();
       cfg.scheme = scheme;
       cfg.max_sim_time = sim::sec(5);
+      if (scheme == Scheme::kHermes) {
+        // Record Hermes's Algorithm-2 decisions (not per-packet events —
+        // the ring would wrap long before the blackhole latches land).
+        cfg.obs.enabled = true;
+        cfg.obs.trace_packets = false;
+      }
       auto install = [&](harness::Scenario& s) {
         s.topology().spine(failed_spine).set_failure(
             {.blackhole =
@@ -68,6 +94,14 @@ int main(int argc, char** argv) {
       std::uint64_t bh_drops = 0;
       auto harvest = [&](harness::Scenario& s) {
         bh_drops = s.topology().spine(failed_spine).blackhole_drops();
+        mj.add_cell(bench::short_name(scheme), load, s.metrics().snapshot_json());
+        // Each Hermes cell overwrites the dump, so the file ends up with
+        // the highest load — the cell where blackhole latches actually
+        // fire (at 0.3 the affected pairs rarely re-hit the dead path
+        // three times, so the detector never has to latch).
+        if (scheme == Scheme::kHermes && s.dump_trace(trace_path)) {
+          std::printf("wrote %s (load %.1f)\n", trace_path.c_str(), load);
+        }
       };
       auto fct = bench::skip_warmup(bench::run_cell(cfg, ws, load, flows, 1, install, harvest),
                                     static_cast<std::uint64_t>(warmup));
@@ -97,5 +131,6 @@ int main(int argc, char** argv) {
     t.print();
     std::printf("\n");
   }
+  mj.write(bench::parse_json_path(argc, argv, "BENCH_fig17.json"));
   return 0;
 }

@@ -138,6 +138,52 @@ inline stats::FctCollector run_cell(harness::ScenarioConfig cfg, const workload:
 
 inline const char* short_name(harness::Scheme s) { return harness::to_string(s); }
 
+/// Where a figure bench writes its machine-readable output
+/// (--json=<path>, like bench_core_micro).
+inline std::string parse_json_path(int argc, char** argv, const char* def) {
+  std::string path = def;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) path = argv[i] + 7;
+  }
+  return path;
+}
+
+/// Accumulates one JSON object per (scheme, load) cell — each embedding
+/// the scenario's MetricsRegistry snapshot (sorted-name order, so the
+/// file is byte-stable at a fixed seed) — and writes the figure bench's
+/// machine-readable companion to the stdout table.
+class MetricsJson {
+ public:
+  explicit MetricsJson(std::string bench) : bench_{std::move(bench)} {}
+
+  void add_cell(const char* scheme, double load, const std::string& metrics_json) {
+    if (!cells_.empty()) cells_ += ",\n";
+    char head[128];
+    std::snprintf(head, sizeof head, "    {\"scheme\": \"%s\", \"load\": %.2f, \"metrics\": ",
+                  scheme, load);
+    cells_ += head;
+    cells_ += metrics_json;
+    cells_ += '}';
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cells\": [\n%s\n  ]\n}\n", bench_.c_str(),
+                 cells_.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string cells_;
+};
+
 /// Wrapper that pins each flow's FIRST path choice (reproducing the
 /// paper's microbenchmark setups, e.g. Fig. 1 places two large flows on
 /// one path) and delegates every later decision to the wrapped scheme —

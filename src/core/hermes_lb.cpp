@@ -9,6 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "hermes/obs/metrics.hpp"
+#include "hermes/obs/records.hpp"
+
 namespace hermes::core {
 
 HermesLb::HermesLb(sim::Simulator& simulator, net::Topology& topo, HermesConfig config)
@@ -35,7 +38,8 @@ PathType HermesLb::path_type(int src_leaf, int dst_leaf, int local_index) {
   return pair(src_leaf, dst_leaf).paths[local_index].characterize(config_);
 }
 
-bool HermesLb::hole_active(HoleTrack& track, sim::SimTime now) const {
+bool HermesLb::hole_active(HoleTrack& track, sim::SimTime now, const lb::FlowCtx* flow,
+                           int local_idx) {
   if (track.latched && config_.failure_expiry > sim::SimTime::zero()) {
     const auto expiry = sim::SimTime::nanoseconds(
         config_.failure_expiry.ns() << (track.streak > 0 ? track.streak - 1 : 0));
@@ -45,6 +49,14 @@ bool HermesLb::hole_active(HoleTrack& track, sim::SimTime now) const {
       // path re-latches with a doubled expiry (up to 128x).
       track.latched = false;
       track.timeouts = 0;
+      ++decision_stats_.latch_expiries;
+      if (latch_hist_ != nullptr) {
+        latch_hist_->observe(static_cast<std::uint64_t>((now - track.latched_at).ns() / 1000));
+      }
+      if (rec_ != nullptr && flow != nullptr) [[unlikely]] {
+        PairState& ps = pair(flow->src_leaf, flow->dst_leaf);
+        record_decision(obs::DecisionKind::kLatchExpire, *flow, ps, local_idx, -1, 0, 0.0F, now);
+      }
     }
   }
   return track.latched;
@@ -79,7 +91,7 @@ bool HermesLb::failed_for_flow(PairState& ps, const lb::FlowCtx& flow, int local
   if (ps.paths[local_idx].failed_active(simulator_.now(), config_)) return true;
   const auto it = ps.hole_track.find(hole_key(flow.src, flow.dst, local_idx));
   if (it == ps.hole_track.end()) return false;
-  return hole_active(it->second, simulator_.now());
+  return hole_active(it->second, simulator_.now(), &flow, local_idx);
 }
 
 int HermesLb::pick_fresh(PairState& ps, const std::vector<net::FabricPath>& paths,
@@ -159,8 +171,18 @@ int HermesLb::select_path(lb::FlowCtx& flow, const net::Packet& pkt) {
                      (cur_local >= 0 && failed_for_flow(ps, flow, cur_local));
   if (fresh) {
     // Algorithm 2 line 3: new flow, flow with a timeout, or failed path.
+    const obs::DecisionKind kind = !flow.has_sent ? obs::DecisionKind::kInitialPlacement
+                                   : flow.timeout_pending
+                                       ? obs::DecisionKind::kTimeoutEscape
+                                       : obs::DecisionKind::kFailureEscape;
     flow.timeout_pending = false;
     chosen = pick_fresh(ps, paths, flow);
+    switch (kind) {
+      case obs::DecisionKind::kInitialPlacement: ++decision_stats_.initial_placements; break;
+      case obs::DecisionKind::kTimeoutEscape: ++decision_stats_.timeout_escapes; break;
+      default: ++decision_stats_.failure_escapes; break;
+    }
+    if (rec_) [[unlikely]] record_decision(kind, flow, ps, cur_local, chosen, 0, 0.0F, now);
   } else if (cur_local >= 0 && config_.rerouting_enabled &&
              ps.paths[cur_local].characterize(config_) == PathType::kCongested) {
     // Line 14: cautious gates — only flows that sent enough and are not
@@ -175,6 +197,15 @@ int HermesLb::select_path(lb::FlowCtx& flow, const net::Packet& pkt) {
         chosen = better;
         flow.last_reroute = now;
         flow.has_rerouted = true;
+        ++decision_stats_.congestion_reroutes;
+        if (rec_) [[unlikely]] {
+          // Algorithm 2's reroute benefit at the moment of the decision.
+          const PathState& cur = ps.paths[cur_local];
+          const PathState& cand = ps.paths[better];
+          record_decision(obs::DecisionKind::kCongestionReroute, flow, ps, cur_local, better,
+                          (cur.rtt() - cand.rtt()).ns(),
+                          static_cast<float>(cur.ecn_fraction() - cand.ecn_fraction()), now);
+        }
       }
     }
   }
@@ -219,7 +250,14 @@ void HermesLb::on_timeout(lb::FlowCtx& flow) {
   HoleTrack& track = ps.hole_track[hole_key(flow.src, flow.dst, li)];
   track.acked = false;
   if (++track.timeouts >= config_.blackhole_timeouts) {
-    if (!track.latched && track.streak < 8) ++track.streak;
+    if (!track.latched) {
+      if (track.streak < 8) ++track.streak;
+      ++decision_stats_.blackhole_latches;
+      if (rec_) [[unlikely]] {
+        record_decision(obs::DecisionKind::kBlackholeLatch, flow, ps, li, -1, 0, 0.0F,
+                        simulator_.now());
+      }
+    }
     track.latched = true;
     // Each confirming timeout refreshes the latch; a cleared blackhole
     // stops producing timeouts and the latch expires (see hole_active).
@@ -283,6 +321,45 @@ void HermesLb::send_probe(int src_leaf, int dst_leaf, int local_idx) {
   ++probe_stats_.probes_sent;
   probe_stats_.probe_bytes += p.size;
   raw_send_(agent_src, std::move(p));
+}
+
+// HERMES_HOT: decision-record append (runs inside select_path/on_timeout)
+// — reads only const path state, consumes no RNG, allocates nothing.
+void HermesLb::record_decision(obs::DecisionKind kind, const lb::FlowCtx& flow, PairState& ps,
+                               int from_local, int to_local, std::int64_t delta_rtt_ns,
+                               float delta_ecn, sim::SimTime now) {
+  obs::TraceRecord r = obs::make_record(obs::RecordKind::kDecision,
+                                        static_cast<std::uint64_t>(now.ns()), name_id_,
+                                        flow.flow_id);
+  const auto cond = [&](int li) -> std::uint8_t {
+    if (li < 0 || li >= static_cast<int>(ps.paths.size())) return obs::kPathCondNone;
+    return static_cast<std::uint8_t>(ps.paths[static_cast<std::size_t>(li)].characterize(config_));
+  };
+  r.u.decision.delta_rtt_ns = delta_rtt_ns;
+  r.u.decision.sent_bytes = flow.bytes_sent;
+  r.u.decision.rate_bps = flow.rate_bps(now);
+  r.u.decision.delta_ecn = delta_ecn;
+  r.u.decision.src_leaf = static_cast<std::int16_t>(flow.src_leaf);
+  r.u.decision.dst_leaf = static_cast<std::int16_t>(flow.dst_leaf);
+  r.u.decision.from_path = static_cast<std::int16_t>(from_local);
+  r.u.decision.to_path = static_cast<std::int16_t>(to_local);
+  r.u.decision.kind = static_cast<std::uint8_t>(kind);
+  r.u.decision.from_cond = cond(from_local);
+  r.u.decision.to_cond = cond(to_local);
+  rec_->append(r);
+}
+
+void HermesLb::register_metrics(obs::MetricsRegistry& reg) {
+  reg.counter_fn("lb.initial_placements", [this] { return decision_stats_.initial_placements; });
+  reg.counter_fn("lb.timeout_escapes", [this] { return decision_stats_.timeout_escapes; });
+  reg.counter_fn("lb.failure_escapes", [this] { return decision_stats_.failure_escapes; });
+  reg.counter_fn("lb.congestion_reroutes", [this] { return decision_stats_.congestion_reroutes; });
+  reg.counter_fn("lb.blackhole_latches", [this] { return decision_stats_.blackhole_latches; });
+  reg.counter_fn("lb.latch_expiries", [this] { return decision_stats_.latch_expiries; });
+  reg.counter_fn("lb.probes_sent", [this] { return probe_stats_.probes_sent; });
+  reg.counter_fn("lb.probe_replies", [this] { return probe_stats_.replies_received; });
+  reg.counter_fn("lb.probe_bytes", [this] { return probe_stats_.probe_bytes; });
+  latch_hist_ = &reg.histogram("lb.latch_lifetime_us");
 }
 
 void HermesLb::on_probe_reply(const net::Packet& reply) {

@@ -10,6 +10,9 @@
 #include "hermes/core/path_state.hpp"
 #include "hermes/lb/load_balancer.hpp"
 #include "hermes/net/topology.hpp"
+#include "hermes/obs/flight_recorder.hpp"
+#include "hermes/obs/metrics.hpp"
+#include "hermes/obs/records.hpp"
 #include "hermes/sim/rng.hpp"
 #include "hermes/sim/simulator.hpp"
 
@@ -20,6 +23,17 @@ struct ProbeStats {
   std::uint64_t probes_sent = 0;
   std::uint64_t replies_received = 0;
   std::uint64_t probe_bytes = 0;
+};
+
+/// Always-on counters over Algorithm 2's decision branches and the
+/// blackhole detector's latch lifecycle (exported as "lb.*" metrics).
+struct DecisionStats {
+  std::uint64_t initial_placements = 0;
+  std::uint64_t timeout_escapes = 0;
+  std::uint64_t failure_escapes = 0;
+  std::uint64_t congestion_reroutes = 0;
+  std::uint64_t blackhole_latches = 0;
+  std::uint64_t latch_expiries = 0;
 };
 
 /// Hermes: comprehensive sensing + timely yet cautious rerouting (§3).
@@ -53,6 +67,20 @@ class HermesLb final : public lb::LoadBalancer {
   /// Deliver a probe reply arriving at a rack agent.
   void on_probe_reply(const net::Packet& reply);
   [[nodiscard]] const ProbeStats& probe_stats() const { return probe_stats_; }
+
+  // --- observability ----------------------------------------------------
+  /// Attach (null detaches) the scenario's flight recorder: every
+  /// Algorithm 2 decision and blackhole-latch transition is appended as a
+  /// kDecision record carrying the decision inputs (ΔRTT, ΔECN, S, R) and
+  /// the path-condition transition.
+  void set_recorder(obs::FlightRecorder* rec) {
+    rec_ = rec;
+    name_id_ = rec != nullptr ? rec->intern("hermes") : 0;
+  }
+  /// Register "lb.*" decision/probe counters and the latch-lifetime
+  /// histogram with the scenario's registry.
+  void register_metrics(obs::MetricsRegistry& reg);
+  [[nodiscard]] const DecisionStats& decision_stats() const { return decision_stats_; }
 
   // --- introspection (tests, traces, benches) ---------------------------
   [[nodiscard]] const HermesConfig& config() const { return config_; }
@@ -94,8 +122,10 @@ class HermesLb final : public lb::LoadBalancer {
   }
 
   PairState& pair(int src_leaf, int dst_leaf);
-  /// Is the hole latch live (expiring it in place when stale)?
-  [[nodiscard]] bool hole_active(HoleTrack& track, sim::SimTime now) const;
+  /// Is the hole latch live (expiring it in place when stale)? `flow` and
+  /// `local_idx` locate the expiry for the decision trace / metrics.
+  [[nodiscard]] bool hole_active(HoleTrack& track, sim::SimTime now, const lb::FlowCtx* flow,
+                                 int local_idx);
   /// Algorithm 2 lines 3-12: initial placement / failure escape.
   int pick_fresh(PairState& ps, const std::vector<net::FabricPath>& paths,
                  const lb::FlowCtx& flow);
@@ -109,6 +139,10 @@ class HermesLb final : public lb::LoadBalancer {
   [[nodiscard]] bool failed_for_flow(PairState& ps, const lb::FlowCtx& flow, int local_idx);
   void probe_tick();
   void send_probe(int src_leaf, int dst_leaf, int local_idx);
+  /// Append a kDecision record (no-op when no recorder is attached).
+  void record_decision(obs::DecisionKind kind, const lb::FlowCtx& flow, PairState& ps,
+                       int from_local, int to_local, std::int64_t delta_rtt_ns, float delta_ecn,
+                       sim::SimTime now);
 
   sim::Simulator& simulator_;
   net::Topology& topo_;
@@ -120,6 +154,11 @@ class HermesLb final : public lb::LoadBalancer {
   std::function<void(int, net::Packet)> raw_send_;
   ProbeStats probe_stats_;
   std::uint64_t next_probe_id_ = 1;
+
+  DecisionStats decision_stats_;
+  obs::FlightRecorder* rec_ = nullptr;   ///< null when observability is off
+  std::uint32_t name_id_ = 0;            ///< interned "hermes", valid while rec_ set
+  obs::Histogram* latch_hist_ = nullptr; ///< latch lifetimes (us), null until registered
 };
 
 }  // namespace hermes::core

@@ -1,8 +1,12 @@
 #include "hermes/faults/fault_scheduler.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
+
+#include "hermes/obs/metrics.hpp"
+#include "hermes/obs/records.hpp"
 
 namespace hermes::faults {
 
@@ -71,7 +75,45 @@ void FaultScheduler::apply(const FaultEvent& e) {
     }
   }
   log_.push_back({simulator_.now(), e.action, describe(e)});
+  if (rec_ != nullptr) {
+    // Onset vs recovery by action semantics (a kLinkRate below the
+    // configured capacity is a degradation onset; at/above it, recovery).
+    bool onset = true;
+    switch (e.action) {
+      case FaultAction::kBlackholeOn:
+      case FaultAction::kLinkDown: onset = true; break;
+      case FaultAction::kBlackholeOff:
+      case FaultAction::kLinkUp: onset = false; break;
+      case FaultAction::kRandomDropSet: onset = e.rate > 0.0; break;
+      case FaultAction::kLinkRate:
+        onset = e.rate < topo_.configured_link_rate(e.link.leaf, e.link.spine, e.link.k);
+        break;
+    }
+    record_fault(e, onset);
+  }
   if (on_transition) on_transition(e);
+}
+
+void FaultScheduler::record_fault(const FaultEvent& e, bool onset) {
+  obs::TraceRecord r = obs::make_record(obs::RecordKind::kFault,
+                                        static_cast<std::uint64_t>(simulator_.now().ns()),
+                                        name_id_, 0);
+  const bool link_event = e.action == FaultAction::kLinkDown || e.action == FaultAction::kLinkUp ||
+                          e.action == FaultAction::kLinkRate;
+  r.u.fault.switch_id = link_event ? -1 : e.switch_id;
+  r.u.fault.leaf = static_cast<std::int16_t>(
+      link_event ? e.link.leaf : (e.tier == SwitchTier::kLeaf ? e.switch_id : -1));
+  r.u.fault.spine = static_cast<std::int16_t>(
+      link_event ? e.link.spine : (e.tier == SwitchTier::kSpine ? e.switch_id : -1));
+  r.u.fault.action = static_cast<std::uint8_t>(e.action);
+  r.u.fault.onset = onset ? 1 : 0;
+  rec_->append(r);
+}
+
+void FaultScheduler::register_metrics(obs::MetricsRegistry& reg) {
+  reg.counter_fn("faults.installed", [this] { return static_cast<std::uint64_t>(installed_); });
+  reg.counter_fn("faults.applied", [this] { return static_cast<std::uint64_t>(log_.size()); });
+  reg.gauge_fn("faults.active", [this] { return static_cast<double>(active_); });
 }
 
 std::string FaultScheduler::describe(const FaultEvent& e) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -9,6 +10,8 @@
 
 #include "hermes/faults/fault_plan.hpp"
 #include "hermes/net/topology.hpp"
+#include "hermes/obs/flight_recorder.hpp"
+#include "hermes/obs/metrics.hpp"
 #include "hermes/sim/simulator.hpp"
 
 namespace hermes::faults {
@@ -46,12 +49,25 @@ class FaultScheduler {
   /// 0 means the fabric is nominally healthy again.
   [[nodiscard]] int active_faults() const { return active_; }
 
+  /// Attach (null detaches) the scenario's flight recorder: every applied
+  /// transition lands in the trace as a kFault record, so `hermestrace`
+  /// can correlate reroute decisions with fault boundaries.
+  void set_recorder(obs::FlightRecorder* rec) {
+    rec_ = rec;
+    name_id_ = rec != nullptr ? rec->intern("faults") : 0;
+  }
+  /// Register "faults.*" counters/gauges with the scenario's registry.
+  void register_metrics(obs::MetricsRegistry& reg);
+
  private:
   void apply(const FaultEvent& e);
   [[nodiscard]] static std::string describe(const FaultEvent& e);
+  void record_fault(const FaultEvent& e, bool onset);
 
   sim::Simulator& simulator_;
   net::Topology& topo_;
+  obs::FlightRecorder* rec_ = nullptr;  ///< null when observability is off
+  std::uint32_t name_id_ = 0;
   std::vector<AppliedFault> log_;
   /// Installed events, owned here; queued callbacks index into this
   /// (append-only, so indices stay stable across install() calls).

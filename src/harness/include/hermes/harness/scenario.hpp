@@ -19,6 +19,8 @@
 #include "hermes/lb/letflow.hpp"
 #include "hermes/lb/load_balancer.hpp"
 #include "hermes/net/topology.hpp"
+#include "hermes/obs/flight_recorder.hpp"
+#include "hermes/obs/metrics.hpp"
 #include "hermes/sim/simulator.hpp"
 #include "hermes/stats/fct.hpp"
 #include "hermes/transport/host_stack.hpp"
@@ -43,6 +45,21 @@ enum class Scheme {
 };
 
 [[nodiscard]] const char* to_string(Scheme s);
+
+/// Flight-recorder settings. Off by default: with `enabled == false` no
+/// recorder exists and every instrumented hot-path site reduces to one
+/// predicted-not-taken null check (measured at zero extra allocations by
+/// bench_core_micro). The metrics registry is independent of this flag —
+/// pull-model counters cost nothing until snapshotted.
+struct ObsConfig {
+  bool enabled = false;
+  /// Ring capacity in records (rounded up to a power of two). The ring
+  /// keeps the *last* `ring_capacity` records — black-box semantics.
+  std::size_t ring_capacity = 1u << 16;
+  /// Record per-packet port lifecycle events (the bulk of trace volume).
+  /// Decision/fault/queue records are always on when `enabled`.
+  bool trace_packets = true;
+};
 
 /// Everything needed to run one experiment: fabric, scheme, transport.
 struct ScenarioConfig {
@@ -79,6 +96,9 @@ struct ScenarioConfig {
   bool check_invariants = false;
   faults::InvariantCheckerConfig invariant_config;
 
+  /// Observability (flight recorder) settings for this run.
+  ObsConfig obs;
+
   /// Optional decorator wrapped around the built balancer — used by the
   /// microbenchmarks to pin initial placements, and by applications to
   /// substitute entirely custom schemes (see examples/custom_scheme.cpp).
@@ -112,6 +132,17 @@ class Scenario {
   /// Non-null only when check_invariants was set.
   [[nodiscard]] faults::InvariantChecker* invariants() { return checker_.get(); }
 
+  /// Non-null only when config.obs.enabled: the flight recorder wired
+  /// into every port, the balancer, and the fault scheduler.
+  [[nodiscard]] obs::FlightRecorder* recorder() { return recorder_.get(); }
+  /// Always-on metrics registry: sim/net/transport/lb/faults counters are
+  /// registered at construction; snapshot in sorted-name order.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Dump the flight recorder to a schema-v1 trace file readable by
+  /// `hermestrace`. Returns false when observability is off or on I/O
+  /// failure.
+  [[nodiscard]] bool dump_trace(const std::string& path) const;
+
   /// Schedule a list of flows (e.g. from workload::generate_poisson_traffic).
   void add_flows(const std::vector<transport::FlowSpec>& flows);
   /// Schedule a single flow; returns its id.
@@ -137,6 +168,21 @@ class Scenario {
 
  private:
   void build_balancer();
+  void wire_observability();
+
+  /// Flow-level totals accumulated as FlowRecords arrive (completion
+  /// callback and end-of-run harvest), so "transport.*" metrics never
+  /// iterate the unordered active-flow map.
+  struct TransportTotals {
+    std::uint64_t flows_completed = 0;
+    std::uint64_t flows_unfinished = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_retransmitted = 0;
+    std::uint64_t reroutes = 0;
+  };
+  void absorb(const transport::FlowRecord& r);
 
   ScenarioConfig config_;
   std::unique_ptr<sim::Simulator> simulator_;
@@ -146,6 +192,9 @@ class Scenario {
   std::vector<std::unique_ptr<transport::HostStack>> stacks_;
   std::unique_ptr<faults::InvariantChecker> checker_;
   std::unique_ptr<faults::FaultScheduler> fault_sched_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  obs::MetricsRegistry metrics_;
+  TransportTotals transport_totals_;
 
   stats::FctCollector collector_;
   std::unordered_map<std::uint64_t, transport::FlowSpec> active_;

@@ -5,12 +5,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "hermes/lb/ecmp.hpp"
 #include "hermes/lb/spray.hpp"
 #include "hermes/lb/wcmp.hpp"
+#include "hermes/obs/flight_recorder.hpp"
+#include "hermes/obs/trace_io.hpp"
 
 namespace hermes::harness {
 
@@ -99,6 +102,54 @@ Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
     }
     fault_sched_->install(config_.fault_plan);
   }
+
+  wire_observability();
+}
+
+void Scenario::wire_observability() {
+  if (config_.obs.enabled) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(config_.obs.ring_capacity);
+    if (config_.obs.trace_packets) topo_->set_recorder(recorder_.get());
+    if (hermes_) hermes_->set_recorder(recorder_.get());
+    if (fault_sched_) fault_sched_->set_recorder(recorder_.get());
+  }
+  // The registry is always on: pull closures read counters the modules
+  // maintain anyway, so there is no per-packet cost until snapshot time.
+  metrics_.counter_fn("sim.events_processed",
+                      [this] { return simulator_->events().events_processed(); });
+  topo_->register_metrics(metrics_);
+  if (hermes_) hermes_->register_metrics(metrics_);
+  if (fault_sched_) fault_sched_->register_metrics(metrics_);
+  metrics_.counter_fn("transport.flows_completed",
+                      [this] { return transport_totals_.flows_completed; });
+  metrics_.counter_fn("transport.flows_unfinished",
+                      [this] { return transport_totals_.flows_unfinished; });
+  metrics_.counter_fn("transport.timeouts", [this] { return transport_totals_.timeouts; });
+  metrics_.counter_fn("transport.fast_retransmits",
+                      [this] { return transport_totals_.fast_retransmits; });
+  metrics_.counter_fn("transport.packets_sent",
+                      [this] { return transport_totals_.packets_sent; });
+  metrics_.counter_fn("transport.packets_retransmitted",
+                      [this] { return transport_totals_.packets_retransmitted; });
+  metrics_.counter_fn("transport.reroutes", [this] { return transport_totals_.reroutes; });
+}
+
+void Scenario::absorb(const transport::FlowRecord& r) {
+  if (r.finished) {
+    ++transport_totals_.flows_completed;
+  } else {
+    ++transport_totals_.flows_unfinished;
+  }
+  transport_totals_.timeouts += r.timeouts;
+  transport_totals_.fast_retransmits += r.fast_retransmits;
+  transport_totals_.packets_sent += r.packets_sent;
+  transport_totals_.packets_retransmitted += r.packets_retransmitted;
+  transport_totals_.reroutes += r.reroutes;
+}
+
+bool Scenario::dump_trace(const std::string& path) const {
+  if (!recorder_) return false;
+  return obs::write_trace(path, *recorder_);
 }
 
 Scenario::~Scenario() = default;
@@ -164,6 +215,7 @@ void Scenario::add_flows(const std::vector<transport::FlowSpec>& flows) {
       active_.emplace(f.id, f);
       stacks_[f.src]->start_flow(f, [this, id = f.id](const transport::FlowRecord& r) {
         collector_.add(r);
+        absorb(r);
         active_.erase(id);
         if (--pending_ == 0) simulator_->stop();
       });
@@ -209,8 +261,10 @@ stats::FctCollector Scenario::run() {
       r.finished = false;
       r.end = simulator_->now();
       collector_.add(r);
+      absorb(r);
     } else {
       collector_.add_unfinished(spec.size, spec.start, simulator_->now());
+      ++transport_totals_.flows_unfinished;
     }
   }
   // Flows scheduled but never started also count as unfinished.

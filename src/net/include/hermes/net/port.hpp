@@ -10,6 +10,8 @@
 #include "hermes/net/device.hpp"
 #include "hermes/net/dre.hpp"
 #include "hermes/net/packet.hpp"
+#include "hermes/obs/flight_recorder.hpp"
+#include "hermes/obs/records.hpp"
 #include "hermes/sim/rng.hpp"
 #include "hermes/sim/simulator.hpp"
 
@@ -120,6 +122,14 @@ class Port {
   /// outlive the port.
   void set_buffer_pool(BufferPool* pool) { pool_ = pool; }
 
+  /// Attach the scenario's flight recorder (null detaches — the default).
+  /// Interns this port's name once, here; the per-packet appends carry
+  /// only the 4-byte id. The recorder must outlive the port.
+  void set_recorder(obs::FlightRecorder* rec) {
+    rec_ = rec;
+    name_id_ = rec != nullptr ? rec->intern(name_) : 0;
+  }
+
   /// True for leaf-uplink and spine-downlink ports. Only fabric ports are
   /// stamped with CONGA's in-band congestion metric.
   bool is_fabric = false;
@@ -129,6 +139,7 @@ class Port {
   void finish_transmit();
   void deliver_front();
   [[nodiscard]] bool should_mark();
+  void record_packet(obs::PacketEvent ev, const Packet& p);
 
   sim::Simulator& simulator_;
   std::string name_;
@@ -147,6 +158,8 @@ class Port {
   PortStats stats_;
   sim::Rng red_rng_;
   BufferPool* pool_ = nullptr;
+  obs::FlightRecorder* rec_ = nullptr;  ///< null when observability is off
+  std::uint32_t name_id_ = 0;           ///< interned name, valid while rec_ set
 };
 
 }  // namespace hermes::net

@@ -9,6 +9,8 @@
 #include "hermes/net/host.hpp"
 #include "hermes/net/packet.hpp"
 #include "hermes/net/switch.hpp"
+#include "hermes/obs/flight_recorder.hpp"
+#include "hermes/obs/metrics.hpp"
 #include "hermes/sim/simulator.hpp"
 
 namespace hermes::net {
@@ -113,6 +115,16 @@ class Topology {
   [[nodiscard]] double configured_link_rate(int leaf_id, int spine, int k = 0) const {
     return link_rate(leaf_id, spine, k);
   }
+
+  // --- observability ----------------------------------------------------
+  /// Attach (or with null, detach) the scenario's flight recorder to every
+  /// port in the fabric — host NICs, leaf and spine egress. Setup-time:
+  /// interns all port names now so hot-path appends carry ids only.
+  void set_recorder(obs::FlightRecorder* rec);
+  /// Register fabric-wide pull counters (tx/drops/ECN marks/failure
+  /// drops) under "net.*". Closures read the live PortStats, so the hot
+  /// path pays nothing beyond the counters it already maintained.
+  void register_metrics(obs::MetricsRegistry& reg);
 
   /// Aggregate leaf->spine capacity: the sustainable inter-rack load unit.
   [[nodiscard]] double bisection_bps() const { return bisection_bps_; }

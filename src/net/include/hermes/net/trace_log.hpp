@@ -7,6 +7,7 @@
 
 #include "hermes/net/packet.hpp"
 #include "hermes/net/port.hpp"
+#include "hermes/obs/string_table.hpp"
 #include "hermes/sim/time.hpp"
 
 namespace hermes::net {
@@ -34,7 +35,7 @@ enum class TraceEvent : std::uint8_t {
 struct TraceEntry {
   sim::SimTime time;
   TraceEvent event;
-  std::string port;  ///< port name, e.g. "leaf0:p17"
+  std::uint32_t port = 0;  ///< interned name id; resolve via TraceLog::port_name()
   std::uint64_t packet_id = 0;
   std::uint64_t flow_id = 0;
   PacketType type = PacketType::kData;
@@ -58,9 +59,15 @@ class TraceLog {
   /// Multi-line human-readable rendering ("12.3us ENQ leaf0:p17 ...").
   [[nodiscard]] std::string to_text() const;
 
+  /// Resolve an entry's interned port id back to its name ("?" if
+  /// unknown). Names are interned once per attach(), not per event —
+  /// a traced enqueue no longer heap-allocates a per-entry string.
+  [[nodiscard]] const std::string& port_name(std::uint32_t id) const { return names_.name(id); }
+
  private:
-  void record(TraceEvent ev, const Port& port, const Packet& p);
+  void record(TraceEvent ev, std::uint32_t port_id, const Port& port, const Packet& p);
   std::vector<TraceEntry> entries_;
+  obs::StringTable names_;
 };
 
 }  // namespace hermes::net

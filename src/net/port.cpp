@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "hermes/obs/records.hpp"
+
 namespace hermes::net {
 
 Port::Port(sim::Simulator& simulator, std::string name, PortConfig config,
@@ -28,6 +30,21 @@ bool Port::should_mark() {
   return red_rng_.chance(p);
 }
 
+// HERMES_HOT: flight-recorder append — builds a 64-byte POD record on the
+// stack and copies it into the preallocated ring; must stay allocation-free.
+void Port::record_packet(obs::PacketEvent ev, const Packet& p) {
+  obs::TraceRecord r = obs::make_record(obs::RecordKind::kPacket,
+                                        static_cast<std::uint64_t>(simulator_.now().ns()),
+                                        name_id_, p.flow_id);
+  r.u.packet.packet_id = p.id;
+  r.u.packet.seq = p.seq;
+  r.u.packet.size = p.size;
+  r.u.packet.event = static_cast<std::uint8_t>(ev);
+  r.u.packet.type = static_cast<std::uint8_t>(p.type);
+  r.u.packet.ce = p.ce ? 1 : 0;
+  rec_->append(r);
+}
+
 // HERMES_HOT: per-packet enqueue — admission, ECN mark, queue push.
 void Port::send(Packet p) {
   if (!link_up_) [[unlikely]] {
@@ -36,6 +53,7 @@ void Port::send(Packet p) {
     ++stats_.drops;
     stats_.drop_bytes += p.size;
     ++stats_.link_down_drops;
+    if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kDrop, p);
     if (on_drop) on_drop(p);
     return;
   }
@@ -44,6 +62,7 @@ void Port::send(Packet p) {
   if (!admitted) [[unlikely]] {
     ++stats_.drops;
     stats_.drop_bytes += p.size;
+    if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kDrop, p);
     if (on_drop) on_drop(p);
     return;
   }
@@ -55,8 +74,10 @@ void Port::send(Packet p) {
     ++stats_.ecn_marks;
   }
   backlog_bytes_ += p.size;
-  // Trace observers are null in every non-instrumented run: the hot path
-  // pays exactly one predicted-not-taken branch per hook.
+  // Trace observers and the flight recorder are null in every
+  // non-instrumented run: the hot path pays exactly one
+  // predicted-not-taken branch per hook.
+  if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kEnqueue, p);
   if (on_enqueue) [[unlikely]] on_enqueue(p);
   // hermeslint:reserve-audited(deque chunks recycle within the buffer-capped backlog — admission above bounds queue depth, and BENCH_core.json measures ~0.001 allocs/event end to end)
   (p.priority > 0 ? hi_ : lo_).push_back(std::move(p));
@@ -76,6 +97,7 @@ void Port::try_transmit() {
   dre_.add(p.size, simulator_.now());
   ++stats_.tx_packets;
   stats_.tx_bytes += p.size;
+  if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kTransmit, p);
   if (on_transmit) [[unlikely]] on_transmit(p);
   const auto tx = tx_time(p.size);
   // The packet rides "the wire" until tx + propagation; deliveries are

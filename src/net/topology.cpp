@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "hermes/obs/flight_recorder.hpp"
+#include "hermes/obs/metrics.hpp"
+
 namespace hermes::net {
 
 namespace {
@@ -189,6 +192,46 @@ void Topology::set_link_state(int leaf_id, int spine, bool up, int k) {
 void Topology::set_link_rate(int leaf_id, int spine, double rate_bps, int k) {
   leaf_uplink(leaf_id, spine, k).set_rate_bps(rate_bps);
   spine_downlink(spine, leaf_id, k).set_rate_bps(rate_bps);
+}
+
+void Topology::set_recorder(obs::FlightRecorder* rec) {
+  for (auto& h : hosts_) h->nic().set_recorder(rec);
+  for (auto& sw : leaves_)
+    for (int i = 0; i < sw->num_ports(); ++i) sw->port(i).set_recorder(rec);
+  for (auto& sw : spines_)
+    for (int i = 0; i < sw->num_ports(); ++i) sw->port(i).set_recorder(rec);
+}
+
+void Topology::register_metrics(obs::MetricsRegistry& reg) {
+  // Pull-model: each closure walks the live PortStats at snapshot time.
+  // Topologies are a few hundred ports at most, so the walk is cheap and
+  // happens off the packet hot path.
+  const auto sum = [this](std::uint64_t (*pick)(const PortStats&)) {
+    std::uint64_t total = 0;
+    for (const auto& h : hosts_) total += pick(h->nic().stats());
+    for (const auto& sw : leaves_)
+      for (int i = 0; i < sw->num_ports(); ++i) total += pick(sw->port(i).stats());
+    for (const auto& sw : spines_)
+      for (int i = 0; i < sw->num_ports(); ++i) total += pick(sw->port(i).stats());
+    return total;
+  };
+  reg.counter_fn("net.tx_packets",
+                 [sum] { return sum([](const PortStats& s) { return s.tx_packets; }); });
+  reg.counter_fn("net.tx_bytes",
+                 [sum] { return sum([](const PortStats& s) { return s.tx_bytes; }); });
+  reg.counter_fn("net.drops", [sum] { return sum([](const PortStats& s) { return s.drops; }); });
+  reg.counter_fn("net.drop_bytes",
+                 [sum] { return sum([](const PortStats& s) { return s.drop_bytes; }); });
+  reg.counter_fn("net.link_down_drops",
+                 [sum] { return sum([](const PortStats& s) { return s.link_down_drops; }); });
+  reg.counter_fn("net.ecn_marks",
+                 [sum] { return sum([](const PortStats& s) { return s.ecn_marks; }); });
+  reg.counter_fn("net.failure_drops", [this] {
+    std::uint64_t total = 0;
+    for (const auto& sw : leaves_) total += sw->failure_drops();
+    for (const auto& sw : spines_) total += sw->failure_drops();
+    return total;
+  });
 }
 
 sim::SimTime Topology::one_hop_delay() const {

@@ -9,23 +9,30 @@
 namespace hermes::net {
 
 void TraceLog::attach(Port& port) {
-  port.on_enqueue = [this, &port](const Packet& p) { record(TraceEvent::kEnqueue, port, p); };
-  port.on_transmit = [this, &port](const Packet& p) { record(TraceEvent::kTransmit, port, p); };
-  port.on_drop = [this, &port](const Packet& p) { record(TraceEvent::kDrop, port, p); };
+  // Intern the port name once here (setup time); the per-event hooks
+  // below only copy a 4-byte id.
+  const std::uint32_t id = names_.intern(port.name());
+  port.on_enqueue = [this, id, &port](const Packet& p) {
+    record(TraceEvent::kEnqueue, id, port, p);
+  };
+  port.on_transmit = [this, id, &port](const Packet& p) {
+    record(TraceEvent::kTransmit, id, port, p);
+  };
+  port.on_drop = [this, id, &port](const Packet& p) { record(TraceEvent::kDrop, id, port, p); };
 }
 
-void TraceLog::record(TraceEvent ev, const Port& port, const Packet& p) {
+void TraceLog::record(TraceEvent ev, std::uint32_t port_id, const Port& port, const Packet& p) {
   TraceEntry e;
   e.time = port.now();
   e.event = ev;
-  e.port = port.name();
+  e.port = port_id;
   e.packet_id = p.id;
   e.flow_id = p.flow_id;
   e.type = p.type;
   e.size = p.size;
   e.seq = p.seq;
   e.ce = p.ce;
-  entries_.push_back(std::move(e));
+  entries_.push_back(e);
 }
 
 std::vector<TraceEntry> TraceLog::entries_for_flow(std::uint64_t flow_id) const {
@@ -47,7 +54,7 @@ std::string TraceLog::to_text() const {
   char buf[192];
   for (const auto& e : entries_) {
     std::snprintf(buf, sizeof buf, "%12.3fus %s %-14s pkt=%llu flow=%llu seq=%llu size=%u%s\n",
-                  e.time.to_usec(), to_string(e.event), e.port.c_str(),
+                  e.time.to_usec(), to_string(e.event), names_.name(e.port).c_str(),
                   static_cast<unsigned long long>(e.packet_id),
                   static_cast<unsigned long long>(e.flow_id),
                   static_cast<unsigned long long>(e.seq), e.size, e.ce ? " CE" : "");

@@ -1,0 +1,40 @@
+#include "hermes/obs/flight_recorder.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace hermes::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity);
+  ring_.resize(cap);
+  // Zero the slots (including struct padding) so a dumped ring is
+  // byte-stable regardless of what the allocator handed us.
+  std::memset(ring_.data(), 0, cap * sizeof(TraceRecord));
+  mask_ = cap - 1;
+}
+
+std::vector<TraceRecord> FlightRecorder::snapshot() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);  // hermeslint:reserve-audited(exact count known: records currently held)
+  const std::uint64_t first = head_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(first + i) & mask_]);
+  }
+  return out;
+}
+
+}  // namespace hermes::obs

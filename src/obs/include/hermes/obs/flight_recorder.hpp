@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hermes/obs/records.hpp"
+#include "hermes/obs/string_table.hpp"
+
+namespace hermes::obs {
+
+/// Fixed-capacity binary flight recorder: a power-of-two ring of POD
+/// TraceRecords, appended from packet hot paths without allocating.
+/// When full it overwrites the oldest records (black-box semantics: the
+/// tail of history is what you want when diagnosing a failure) and
+/// counts how many were lost.
+///
+/// Components hold a `FlightRecorder*` that is null when observability
+/// is off; every instrumentation site guards with
+/// `if (rec_) [[unlikely]] rec_->append(...)` so the disabled case is a
+/// single predictable-not-taken branch — same pattern as the existing
+/// Port observer hooks. Name ids come from the owned StringTable and
+/// are interned at component-construction time, never on a hot path.
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two (min 64) and fully
+  /// preallocated here, so append() never touches the allocator.
+  explicit FlightRecorder(std::size_t capacity = 1u << 16);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Append one record. Allocation-free and O(1); overwrites the oldest
+  /// record when the ring is full.
+  // HERMES_HOT
+  void append(const TraceRecord& r) {
+    ring_[static_cast<std::size_t>(head_) & mask_] = r;
+    ++head_;
+  }
+
+  /// Intern a location name (setup-time only; allocates).
+  std::uint32_t intern(std::string_view s) { return names_.intern(s); }
+
+  [[nodiscard]] const StringTable& names() const { return names_; }
+
+  /// Records currently held (≤ capacity()).
+  [[nodiscard]] std::size_t size() const {
+    return head_ < ring_.size() ? static_cast<std::size_t>(head_) : ring_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  /// Total appends ever seen, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_appended() const { return head_; }
+
+  /// Records lost to ring wrap-around.
+  [[nodiscard]] std::uint64_t overwritten() const {
+    return head_ < ring_.size() ? 0 : head_ - ring_.size();
+  }
+
+  /// Held records in append (chronological) order. Allocates; for dump
+  /// and analysis paths only.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  /// Drop all records (the string table is kept — ids stay valid).
+  void clear() { head_ = 0; }
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::uint64_t head_ = 0;  ///< total appends; next slot = head_ & mask_
+  std::size_t mask_ = 0;    ///< ring_.size() - 1 (size is a power of two)
+  StringTable names_;
+};
+
+}  // namespace hermes::obs

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes::obs {
+
+/// Interned names for trace records and metrics: every location string
+/// (port name, balancer name, fault target) is stored once, and hot-path
+/// records carry a 4-byte id instead of a heap-owning std::string.
+///
+/// Ids are assigned in intern() call order starting at 1 (0 is "never
+/// interned"), which is deterministic for a fixed scenario build order —
+/// so a dumped trace resolves to identical text across runs and across
+/// standard libraries (the index is a std::map, not hash-ordered).
+///
+/// Interning is a *setup-time* operation (component construction,
+/// recorder attachment); nothing on a packet hot path may call it.
+class StringTable {
+ public:
+  /// Id for `s`, allocating one on first sight. Never returns 0.
+  std::uint32_t intern(std::string_view s);
+
+  /// Id for `s` if already interned, else 0 (never allocates).
+  [[nodiscard]] std::uint32_t find(std::string_view s) const;
+
+  /// Resolve an id; unknown / zero ids yield "?" so renderers never
+  /// have to branch on corrupt input.
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+
+  /// Number of interned names (max id currently assigned).
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+
+ private:
+  std::vector<std::string> names_;                       ///< index = id - 1
+  std::map<std::string, std::uint32_t, std::less<>> index_;
+};
+
+}  // namespace hermes::obs

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hermes/obs/flight_recorder.hpp"
+#include "hermes/obs/records.hpp"
+
+namespace hermes::obs {
+
+/// A trace file read back into memory: the raw records plus the string
+/// table needed to resolve their name ids.
+struct LoadedTrace {
+  std::vector<TraceRecord> records;
+  std::vector<std::string> names;  ///< index = id - 1, as written
+  std::uint64_t overwritten = 0;   ///< records lost to ring wrap before dump
+
+  /// Resolve a name id ("?" for 0 / out of range), mirroring
+  /// StringTable::name so renderers never branch on corrupt input.
+  [[nodiscard]] const std::string& name(std::uint32_t id) const;
+};
+
+/// Dump the recorder's held records and string table to `path` in trace
+/// format schema v1 (little-endian, 64-byte records). Returns false on
+/// I/O failure.
+bool write_trace(const std::string& path, const FlightRecorder& rec);
+
+/// Load a schema-v1 trace file. Returns false (and leaves `out` empty)
+/// on I/O failure, bad magic, or version/record-size mismatch; `err`
+/// (when non-null) receives a one-line reason.
+bool read_trace(const std::string& path, LoadedTrace& out, std::string* err = nullptr);
+
+}  // namespace hermes::obs

@@ -1,0 +1,29 @@
+#include "hermes/obs/string_table.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hermes::obs {
+
+std::uint32_t StringTable::intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  names_.emplace_back(s);
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t StringTable::find(std::string_view s) const {
+  const auto it = index_.find(s);
+  return it == index_.end() ? 0 : it->second;
+}
+
+const std::string& StringTable::name(std::uint32_t id) const {
+  static const std::string kUnknown = "?";
+  if (id == 0 || id > names_.size()) return kUnknown;
+  return names_[id - 1];
+}
+
+}  // namespace hermes::obs

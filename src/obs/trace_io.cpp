@@ -1,0 +1,115 @@
+#include "hermes/obs/trace_io.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hermes::obs {
+
+namespace {
+
+// Trace format schema v1:
+//   char[4]  magic "HTRC"
+//   u32      version (1)
+//   u32      record_size (64)
+//   u32      name_count
+//   u64      record_count
+//   u64      overwritten
+//   name_count × { u32 len; char[len] }   (ids 1..name_count in order)
+//   record_count × TraceRecord            (raw little-endian structs)
+constexpr char kMagic[4] = {'H', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+bool put_u32(std::FILE* f, std::uint32_t v) { return std::fwrite(&v, sizeof v, 1, f) == 1; }
+bool put_u64(std::FILE* f, std::uint64_t v) { return std::fwrite(&v, sizeof v, 1, f) == 1; }
+bool get_u32(std::FILE* f, std::uint32_t& v) { return std::fread(&v, sizeof v, 1, f) == 1; }
+bool get_u64(std::FILE* f, std::uint64_t& v) { return std::fread(&v, sizeof v, 1, f) == 1; }
+
+bool fail(std::string* err, const char* why) {
+  if (err != nullptr) *err = why;
+  return false;
+}
+
+}  // namespace
+
+const std::string& LoadedTrace::name(std::uint32_t id) const {
+  static const std::string kUnknown = "?";
+  if (id == 0 || id > names.size()) return kUnknown;
+  return names[id - 1];
+}
+
+bool write_trace(const std::string& path, const FlightRecorder& rec) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  std::FILE* fp = f.get();
+
+  const std::uint32_t name_count = rec.names().size();
+  const std::vector<TraceRecord> records = rec.snapshot();
+
+  if (std::fwrite(kMagic, 1, 4, fp) != 4) return false;
+  if (!put_u32(fp, kVersion) || !put_u32(fp, sizeof(TraceRecord)) || !put_u32(fp, name_count) ||
+      !put_u64(fp, records.size()) || !put_u64(fp, rec.overwritten())) {
+    return false;
+  }
+  for (std::uint32_t id = 1; id <= name_count; ++id) {
+    const std::string& s = rec.names().name(id);
+    if (!put_u32(fp, static_cast<std::uint32_t>(s.size()))) return false;
+    if (!s.empty() && std::fwrite(s.data(), 1, s.size(), fp) != s.size()) return false;
+  }
+  if (!records.empty() &&
+      std::fwrite(records.data(), sizeof(TraceRecord), records.size(), fp) != records.size()) {
+    return false;
+  }
+  return std::fflush(fp) == 0;
+}
+
+bool read_trace(const std::string& path, LoadedTrace& out, std::string* err) {
+  out = LoadedTrace{};
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) return fail(err, "cannot open file");
+  std::FILE* fp = f.get();
+
+  char magic[4];
+  if (std::fread(magic, 1, 4, fp) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    return fail(err, "not a hermes trace (bad magic)");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t record_size = 0;
+  std::uint32_t name_count = 0;
+  std::uint64_t record_count = 0;
+  if (!get_u32(fp, version) || !get_u32(fp, record_size) || !get_u32(fp, name_count) ||
+      !get_u64(fp, record_count) || !get_u64(fp, out.overwritten)) {
+    return fail(err, "truncated header");
+  }
+  if (version != kVersion) return fail(err, "unsupported trace version");
+  if (record_size != sizeof(TraceRecord)) return fail(err, "record size mismatch");
+
+  out.names.reserve(name_count);
+  for (std::uint32_t i = 0; i < name_count; ++i) {
+    std::uint32_t len = 0;
+    if (!get_u32(fp, len) || len > (1u << 20)) return fail(err, "truncated string table");
+    std::string s(len, '\0');
+    if (len != 0 && std::fread(s.data(), 1, len, fp) != len) {
+      return fail(err, "truncated string table");
+    }
+    out.names.push_back(std::move(s));
+  }
+  out.records.resize(record_count);
+  if (record_count != 0 &&
+      std::fread(out.records.data(), sizeof(TraceRecord), record_count, fp) != record_count) {
+    return fail(err, "truncated record section");
+  }
+  return true;
+}
+
+}  // namespace hermes::obs

@@ -50,7 +50,7 @@ const std::vector<Cell>& cells() {
   return c;
 }
 
-std::string run_cell_csv(const Cell& cell) {
+std::string run_cell_csv(const Cell& cell, bool obs_enabled = false) {
   harness::ScenarioConfig cfg;
   cfg.topo.num_leaves = 4;
   cfg.topo.num_spines = 4;
@@ -58,6 +58,7 @@ std::string run_cell_csv(const Cell& cell) {
   cfg.scheme = cell.scheme;
   cfg.seed = 7;
   cfg.max_sim_time = sim::sec(10);
+  cfg.obs.enabled = obs_enabled;
   harness::Scenario s{cfg};
   workload::TrafficConfig tc;
   tc.load = cell.load;
@@ -79,6 +80,19 @@ TEST(Determinism, GoldenSeedFctHashMatchesHeapBaseline) {
       << "fixed-seed per-flow FCT output changed (" << all.size()
       << " bytes) — scheduling-order regression, or an intentional "
          "change that must re-record the golden hash";
+}
+
+// The flight recorder must be a pure observer: record paths consume no
+// RNG and read only const state, so turning observability ON cannot
+// perturb a single scheduling decision. Same seed, same golden hash —
+// this is what makes post-mortem tracing trustworthy (the traced run IS
+// the run you were debugging, not a sibling).
+TEST(Determinism, ObservabilityOnReproducesGoldenHash) {
+  std::string all;
+  for (const Cell& c : cells()) all += run_cell_csv(c, /*obs_enabled=*/true);
+  EXPECT_EQ(fnv1a64(all), kGoldenHash)
+      << "enabling the flight recorder changed simulation results — an "
+         "instrumentation site is consuming RNG or mutating model state";
 }
 
 // Unfinished flows are emitted from Scenario::active_, an unordered_map.

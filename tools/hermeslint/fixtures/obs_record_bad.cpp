@@ -1,0 +1,19 @@
+// Fixture: obs.pod-record flags heap-owning members in a tagged trace-record
+// struct. Never compiled.
+#include <memory>
+#include <string>
+#include <vector>
+
+// HERMES_POD_RECORD
+struct BadRecord {
+  unsigned long long time_ns;
+  std::string port_name;          // owns heap: must be an interned id
+  std::vector<int> samples;       // owns heap
+  std::unique_ptr<int> owner;     // not trivially copyable
+};
+
+// Untagged structs may own whatever they like: must NOT be flagged.
+struct ColdConfig {
+  std::string label;
+  std::vector<int> weights;
+};

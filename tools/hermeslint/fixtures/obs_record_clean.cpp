@@ -1,0 +1,13 @@
+// Fixture: a well-formed trace record — fixed-size scalars only, names
+// carried as interned StringTable ids. No findings. Never compiled.
+#include <cstdint>
+
+// HERMES_POD_RECORD
+struct CleanRecord {
+  std::uint64_t time_ns;
+  std::uint64_t flow_id;
+  std::uint32_t name;  // interned via obs::StringTable
+  std::uint8_t kind;
+  std::uint8_t pad[3];
+  double rate_bps;
+};

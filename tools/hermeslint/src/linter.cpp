@@ -40,6 +40,7 @@ constexpr std::string_view kHotGrowth = "hotpath.container-growth";
 constexpr std::string_view kHdrPragmaOnce = "header.pragma-once";
 constexpr std::string_view kHdrUsingNamespace = "header.using-namespace";
 constexpr std::string_view kHdrDirectInclude = "header.direct-include";
+constexpr std::string_view kObsPodRecord = "obs.pod-record";
 constexpr std::string_view kMetaSuppression = "meta.suppression";
 
 const std::vector<RuleInfo> kCatalogue = {
@@ -61,6 +62,9 @@ const std::vector<RuleInfo> kCatalogue = {
     {kHdrUsingNamespace, "headers must not contain using-namespace directives"},
     {kHdrDirectInclude,
      "curated std:: symbols require a direct #include, not a transitive one"},
+    {kObsPodRecord,
+     "HERMES_POD_RECORD structs are memcpy'd into the flight-recorder ring and dumped "
+     "raw; heap-owning members (std::string, containers, smart pointers) are banned"},
     {kMetaSuppression,
      "hermeslint:allow directives must name known rules and carry a written reason"},
 };
@@ -126,6 +130,40 @@ constexpr SymbolHeader kSymbolHeaders[] = {
     {"int64_t", "cstdint"},
     {"size_t", "cstddef"},
     {"byte", "cstddef"},
+};
+
+/// Curated obs:: symbol -> required direct #include, same contract as
+/// kSymbolHeaders: observability types must not be picked up transitively
+/// (the obs headers are small and deliberately layered; see DESIGN.md §9).
+/// Matched as `obs::<symbol>` or `hermes::obs::<symbol>`.
+constexpr SymbolHeader kObsSymbolHeaders[] = {
+    {"FlightRecorder", "hermes/obs/flight_recorder.hpp"},
+    {"StringTable", "hermes/obs/string_table.hpp"},
+    {"MetricsRegistry", "hermes/obs/metrics.hpp"},
+    {"Histogram", "hermes/obs/metrics.hpp"},
+    {"TraceRecord", "hermes/obs/records.hpp"},
+    {"RecordKind", "hermes/obs/records.hpp"},
+    {"PacketEvent", "hermes/obs/records.hpp"},
+    {"DecisionKind", "hermes/obs/records.hpp"},
+    {"make_record", "hermes/obs/records.hpp"},
+    {"path_condition_name", "hermes/obs/records.hpp"},
+    {"kPathCondNone", "hermes/obs/records.hpp"},
+    {"LoadedTrace", "hermes/obs/trace_io.hpp"},
+    {"read_trace", "hermes/obs/trace_io.hpp"},
+    {"write_trace", "hermes/obs/trace_io.hpp"},
+};
+
+/// Member types banned inside HERMES_POD_RECORD structs (obs.pod-record):
+/// anything that owns heap memory or is not trivially copyable. Records
+/// are written to the ring with operator= on a raw 64-byte struct and
+/// fwrite'n to disk, so a heap-owning member is silent corruption.
+constexpr std::string_view kHeapOwningTypes[] = {
+    "string",        "vector",        "deque",         "list",
+    "forward_list",  "map",           "multimap",      "set",
+    "multiset",      "unordered_map", "unordered_multimap",
+    "unordered_set", "unordered_multiset",
+    "function",      "unique_ptr",    "shared_ptr",    "weak_ptr",
+    "any",
 };
 
 /// Keywords after which `ident(` is a call, not a declaration `Type ident(...)`.
@@ -258,18 +296,20 @@ Directives parse_directives(const std::string& path, const std::vector<Line>& li
   return d;
 }
 
-/// Marks the lines covered by `// HERMES_HOT` tags: a tag before any code
-/// covers the whole file; a tag elsewhere covers the next brace block
-/// (i.e. the function that follows it). Only a comment that *starts* with
-/// HERMES_HOT is a tag — prose that merely mentions the marker is not.
-std::vector<char> hot_mask(const std::vector<Line>& lines) {
+/// Marks the lines covered by `// <tag>` comments: a tag before any code
+/// covers the whole file (when `file_scope` is allowed); a tag elsewhere
+/// covers the next brace block (i.e. the function or struct that follows
+/// it). Only a comment that *starts* with the tag counts — prose that
+/// merely mentions the marker is not a tag.
+std::vector<char> tag_mask(const std::vector<Line>& lines, std::string_view tag,
+                           bool file_scope) {
   std::vector<char> hot(lines.size(), 0);
   bool code_seen = false;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string_view ctext = trim(lines[i].comment);
-    const bool tagged = ctext.rfind("HERMES_HOT", 0) == 0 &&
-                        (ctext.size() == 10 || !is_ident_char(ctext[10]));
-    if (tagged && !code_seen && is_blank(lines[i].code)) {
+    const bool tagged = ctext.rfind(tag, 0) == 0 &&
+                        (ctext.size() == tag.size() || !is_ident_char(ctext[tag.size()]));
+    if (tagged && file_scope && !code_seen && is_blank(lines[i].code)) {
       std::fill(hot.begin(), hot.end(), 1);
       return hot;
     }
@@ -450,7 +490,8 @@ void Linter::lint_file(const File& f, LintResult& out) const {
   std::vector<Finding> meta;
   const Directives dir = parse_directives(f.path, lines, meta);
   for (Finding& m : meta) out.findings.push_back(std::move(m));
-  const std::vector<char> hot = hot_mask(lines);
+  const std::vector<char> hot = tag_mask(lines, "HERMES_HOT", /*file_scope=*/true);
+  const std::vector<char> pod = tag_mask(lines, "HERMES_POD_RECORD", /*file_scope=*/false);
 
   // Routes a raw finding through the suppression table.
   auto emit = [&](std::string_view rule, std::size_t line0, std::string message) {
@@ -467,9 +508,11 @@ void Linter::lint_file(const File& f, LintResult& out) const {
   };
 
   // ---- collect this file's direct includes (for header.direct-include).
+  // Parsed from the raw line: the lexer strips string literals out of
+  // `code`, which would erase the path of quoted ("hermes/...") includes.
   std::set<std::string, std::less<>> includes;
   for (const Line& line : lines) {
-    const std::string_view code = trim(line.code);
+    const std::string_view code = trim(line.raw);
     if (code.rfind("#", 0) != 0) continue;
     std::string_view rest = trim(code.substr(1));
     if (rest.rfind("include", 0) != 0) continue;
@@ -617,6 +660,21 @@ void Linter::lint_file(const File& f, LintResult& out) const {
       }
     }
 
+    // ---- obs.pod-record ----
+    if (pod[i] != 0) {
+      for (std::size_t pos = code.find("std::"); pos != std::string::npos;
+           pos = code.find("std::", pos + 1)) {
+        if (pos > 0 && (is_ident_char(code[pos - 1]) || code[pos - 1] == ':')) continue;
+        for (const std::string_view banned : kHeapOwningTypes) {
+          if (!matches_identifier_at(code, pos + 5, banned)) continue;
+          emit(kObsPodRecord, i,
+               "std::" + std::string(banned) + " in a HERMES_POD_RECORD struct owns heap "
+               "memory; trace records are memcpy'd and dumped raw, so members must be "
+               "fixed-size trivially-copyable scalars (intern strings via obs::StringTable)");
+        }
+      }
+    }
+
     // ---- header.direct-include ----
     for (std::size_t pos = code.find("std::"); pos != std::string::npos;
          pos = code.find("std::", pos + 1)) {
@@ -629,6 +687,30 @@ void Linter::lint_file(const File& f, LintResult& out) const {
         emit(kHdrDirectInclude, i,
              "std::" + key + " needs a direct #include <" + std::string(sh.header) +
                  "> (transitive includes are not guaranteed)");
+      }
+    }
+
+    // ---- header.direct-include (obs:: symbols) ----
+    for (std::size_t pos = code.find("obs::"); pos != std::string::npos;
+         pos = code.find("obs::", pos + 1)) {
+      if (pos > 0) {
+        const char prev = code[pos - 1];
+        if (is_ident_char(prev)) continue;
+        if (prev == ':') {
+          // Accept hermes::obs:: only; some_other_ns::obs:: is not ours.
+          if (pos < 2 || code[pos - 2] != ':' || ident_before(code, pos - 2) != "hermes") {
+            continue;
+          }
+        }
+      }
+      for (const SymbolHeader& sh : kObsSymbolHeaders) {
+        if (!matches_identifier_at(code, pos + 5, sh.symbol)) continue;
+        if (includes.find(sh.header) != includes.end()) continue;
+        const std::string key = std::string(sh.symbol);
+        if (!reported_symbols.insert(key).second) continue;
+        emit(kHdrDirectInclude, i,
+             "obs::" + key + " needs a direct #include \"" + std::string(sh.header) +
+                 "\" (transitive includes are not guaranteed)");
       }
     }
   }

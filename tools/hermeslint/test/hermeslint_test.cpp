@@ -169,6 +169,38 @@ TEST(HermeslintRules, HeaderHygieneQuietOnCleanTwin) {
   EXPECT_TRUE(r.findings.empty()) << to_json(r);
 }
 
+TEST(HermeslintRules, PodRecordCatchesHeapOwningMembers) {
+  const LintResult r = lint_fixture("obs_record_bad.cpp");
+  // std::string + std::vector + std::unique_ptr inside the tagged struct.
+  EXPECT_EQ(count_rule(r, "obs.pod-record"), 3) << to_json(r);
+  // The untagged ColdConfig struct must NOT be flagged.
+  const bool cold_flagged =
+      std::any_of(r.findings.begin(), r.findings.end(), [](const auto& f) {
+        return f.rule == "obs.pod-record" && f.line > 14;
+      });
+  EXPECT_FALSE(cold_flagged) << to_json(r);
+}
+
+TEST(HermeslintRules, PodRecordQuietOnCleanTwin) {
+  const LintResult r = lint_fixture("obs_record_clean.cpp");
+  EXPECT_TRUE(r.findings.empty()) << to_json(r);
+}
+
+TEST(HermeslintRules, ObsSymbolsNeedDirectIncludes) {
+  Linter linter;
+  linter.add_file("user.hpp",
+                  "#pragma once\n#include \"hermes/obs/flight_recorder.hpp\"\n"
+                  "struct S {\n"
+                  "  obs::FlightRecorder* rec = nullptr;\n"        // included: quiet
+                  "  void wire(hermes::obs::MetricsRegistry& m);\n"  // missing metrics.hpp
+                  "};\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "header.direct-include"), 1) << to_json(r);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_NE(r.findings[0].message.find("hermes/obs/metrics.hpp"), std::string::npos)
+      << to_json(r);
+}
+
 TEST(HermeslintRules, UsingNamespaceAllowedInSourceFiles) {
   Linter linter;
   linter.add_file("impl.cpp", "#include <vector>\nusing namespace std;\nvector<int> v;\n");
