@@ -8,7 +8,10 @@
 #   3. Release (-O2, NDEBUG) build + `bench_core_micro --smoke`, proving
 #      the perf-measurement path itself stays alive (full numbers go to
 #      BENCH_core.json; see EXPERIMENTS.md).
-#   4. TSan build (HERMES_SANITIZE=thread) running the parallel-runner
+#   4. Fuzz smoke: 25 seeds through hermesfuzz. The nightly workflow
+#      (fuzz.yml) runs thousands; this is the per-change canary that the
+#      fuzz loop itself still works and the first seeds stay clean.
+#   5. TSan build (HERMES_SANITIZE=thread) running the parallel-runner
 #      and determinism tests — the threaded sweep path must be race-free.
 #      Skip with HERMES_TIER1_TSAN=0 (e.g. on machines without TSan).
 #
@@ -18,27 +21,32 @@ cd "$(dirname "$0")/.."
 
 JOBS="${HERMES_TIER1_JOBS:-$(nproc)}"
 
-echo "== [1/4] build (-Werror) + ctest (RelWithDebInfo) =="
+echo "== [1/5] build (-Werror) + ctest (RelWithDebInfo) =="
 cmake -B build -S . -DHERMES_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/4] hermeslint =="
+echo "== [2/5] hermeslint =="
 ./build/tools/hermeslint/hermeslint --root=. src bench tests examples
 
-echo "== [3/4] Release build + bench_core_micro --smoke =="
+echo "== [3/5] Release build + bench_core_micro --smoke =="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "$JOBS" --target bench_core_micro
 (cd build-rel && ./bench/bench_core_micro --smoke --json=BENCH_core_smoke.json)
 
+echo "== [4/5] fuzz smoke (25 seeds) =="
+FUZZ_OUT="$(mktemp -d)"
+./build/tools/hermesfuzz/hermesfuzz --seeds=25 --out="$FUZZ_OUT"
+rm -rf "$FUZZ_OUT"
+
 if [[ "${HERMES_TIER1_TSAN:-1}" == "1" ]]; then
-  echo "== [4/4] TSan build + parallel sweep tests =="
+  echo "== [5/5] TSan build + parallel sweep tests =="
   cmake -B build-tsan -S . -DHERMES_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target hermes_tests
   ./build-tsan/tests/hermes_tests \
     --gtest_filter='ParallelRunner.*:Determinism.ParallelSweepIsByteIdenticalToSerial'
 else
-  echo "== [4/4] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
+  echo "== [5/5] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
 fi
 
 echo "tier-1: OK"

@@ -9,14 +9,35 @@
 
 #include "hermes/faults/fault_plan.hpp"
 #include "hermes/net/topology.hpp"
+#include "hermes/obs/metrics.hpp"
 #include "hermes/sim/simulator.hpp"
 
 namespace hermes::faults {
 
-/// A broken invariant, with the simulated time it was observed.
+/// The invariants the checker enforces. Each gets its own violation
+/// counter in the metrics registry, so a fuzz triage can tell *which*
+/// invariant broke without parsing message text.
+enum class Invariant : std::uint8_t {
+  kByteConservation = 0,
+  kQueueBound = 1,
+  kSharedBuffer = 2,
+};
+inline constexpr int kNumInvariants = 3;
+
+[[nodiscard]] const char* to_string(Invariant inv);
+
+/// A broken invariant. `what` is self-contained for triage logs: it
+/// always carries the simulated time, the invariant's name, and the
+/// implicated flow id (or `flow=-` when no single flow is implicated).
 struct InvariantViolation {
   sim::SimTime at{};
+  Invariant invariant = Invariant::kByteConservation;
+  /// Implicated flow, when the invariant is flow-attributable;
+  /// kNoFlow for fabric-global invariants (conservation, pools).
+  std::uint64_t flow_id = kNoFlow;
   std::string what;
+
+  static constexpr std::uint64_t kNoFlow = ~0ull;
 };
 
 struct InvariantCheckerConfig {
@@ -73,6 +94,15 @@ class InvariantChecker {
   [[nodiscard]] bool ok() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<InvariantViolation>& violations() const { return violations_; }
   [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+  /// Violations of one specific invariant so far.
+  [[nodiscard]] std::uint64_t violation_count(Invariant inv) const {
+    return violation_counts_[static_cast<int>(inv)];
+  }
+
+  /// Register per-invariant violation counters ("invariants.violation.
+  /// byte_conservation", ...) plus checks/stuck-flow telemetry. Pull-model:
+  /// closures read the counters this checker already maintains.
+  void register_metrics(obs::MetricsRegistry& reg);
 
   // --- accounting (network-level, cumulative) ---------------------------
   [[nodiscard]] std::uint64_t injected_bytes() const { return injected_bytes_; }
@@ -98,7 +128,8 @@ class InvariantChecker {
   void check_queue_bounds(const char* context);
   template <typename Fn>
   void for_each_port(Fn&& fn) const;
-  void violation(const std::string& what);
+  void violation(Invariant inv, const std::string& what,
+                 std::uint64_t flow_id = InvariantViolation::kNoFlow);
 
   sim::Simulator& simulator_;
   net::Topology& topo_;
@@ -123,6 +154,7 @@ class InvariantChecker {
   std::size_t max_stuck_flows_ = 0;
 
   std::vector<InvariantViolation> violations_;
+  std::uint64_t violation_counts_[kNumInvariants] = {};
   std::uint64_t checks_run_ = 0;
 };
 

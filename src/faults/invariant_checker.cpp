@@ -6,7 +6,18 @@
 #include <utility>
 #include <vector>
 
+#include "hermes/obs/metrics.hpp"
+
 namespace hermes::faults {
+
+const char* to_string(Invariant inv) {
+  switch (inv) {
+    case Invariant::kByteConservation: return "byte-conservation";
+    case Invariant::kQueueBound: return "queue-bound";
+    case Invariant::kSharedBuffer: return "shared-buffer";
+  }
+  return "?";
+}
 
 InvariantChecker::InvariantChecker(sim::Simulator& simulator, net::Topology& topo,
                                    InvariantCheckerConfig config)
@@ -89,19 +100,45 @@ std::uint64_t InvariantChecker::in_flight_bytes() const {
   return b;
 }
 
-void InvariantChecker::violation(const std::string& what) {
-  violations_.push_back({simulator_.now(), what});
+void InvariantChecker::violation(Invariant inv, const std::string& what,
+                                 std::uint64_t flow_id) {
+  // Triage-grade message: self-contained even when the surrounding run
+  // context (log file, FUZZ trace name) is lost. Fixed field order so
+  // fuzz reports diff cleanly across seeds.
+  const sim::SimTime now = simulator_.now();
+  std::string msg = "t=" + std::to_string(now.ns()) + "ns invariant=" + to_string(inv) +
+                    " flow=" +
+                    (flow_id == InvariantViolation::kNoFlow ? std::string("-")
+                                                            : std::to_string(flow_id)) +
+                    " " + what;
+  ++violation_counts_[static_cast<int>(inv)];
+  violations_.push_back({now, inv, flow_id, std::move(msg)});
+}
+
+void InvariantChecker::register_metrics(obs::MetricsRegistry& reg) {
+  reg.counter_fn("invariants.checks_run", [this] { return checks_run_; });
+  reg.counter_fn("invariants.violations.byte_conservation", [this] {
+    return violation_counts_[static_cast<int>(Invariant::kByteConservation)];
+  });
+  reg.counter_fn("invariants.violations.queue_bound", [this] {
+    return violation_counts_[static_cast<int>(Invariant::kQueueBound)];
+  });
+  reg.counter_fn("invariants.violations.shared_buffer", [this] {
+    return violation_counts_[static_cast<int>(Invariant::kSharedBuffer)];
+  });
+  reg.counter_fn("invariants.stuck_flows_max",
+                 [this] { return static_cast<std::uint64_t>(max_stuck_flows_); });
 }
 
 void InvariantChecker::check_conservation(const char* context) {
   const std::uint64_t injected = injected_bytes_;
   const std::uint64_t accounted = delivered_bytes_ + dropped_bytes() + in_flight_bytes();
   if (injected != accounted) {
-    violation(std::string("byte conservation broken (") + context +
-              "): injected=" + std::to_string(injected) + " accounted=" +
-              std::to_string(accounted) + " delta=" +
-              std::to_string(static_cast<std::int64_t>(injected) -
-                             static_cast<std::int64_t>(accounted)));
+    violation(Invariant::kByteConservation,
+              std::string("broken (") + context + "): injected=" + std::to_string(injected) +
+                  " accounted=" + std::to_string(accounted) + " delta=" +
+                  std::to_string(static_cast<std::int64_t>(injected) -
+                                 static_cast<std::int64_t>(accounted)));
   }
 }
 
@@ -110,17 +147,18 @@ void InvariantChecker::check_queue_bounds(const char* context) {
     // Shared-buffer ports are bounded by the pool, checked below.
     if (p.pooled()) return;
     if (p.backlog_bytes() > p.config().queue_capacity_bytes) {
-      violation(std::string("queue bound exceeded (") + context + "): " + p.name() + " holds " +
-                std::to_string(p.backlog_bytes()) + " > cap " +
-                std::to_string(p.config().queue_capacity_bytes));
+      violation(Invariant::kQueueBound,
+                std::string("exceeded (") + context + "): " + p.name() + " holds " +
+                    std::to_string(p.backlog_bytes()) + " > cap " +
+                    std::to_string(p.config().queue_capacity_bytes));
     }
   });
   auto check_pool = [&](const net::Switch& sw) {
     const net::DynamicThresholdPool* pool = sw.shared_buffer();
     if (pool && pool->used() > pool->total()) {
-      violation(std::string("shared buffer overflow (") + context + "): " + sw.name() +
-                " uses " + std::to_string(pool->used()) + " > " +
-                std::to_string(pool->total()));
+      violation(Invariant::kSharedBuffer,
+                std::string("overflow (") + context + "): " + sw.name() + " uses " +
+                    std::to_string(pool->used()) + " > " + std::to_string(pool->total()));
     }
   };
   for (int l = 0; l < topo_.config().num_leaves; ++l) check_pool(topo_.leaf(l));

@@ -1,0 +1,96 @@
+#include "hermes/harness/fuzz_runner.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hermes/faults/scenario_fuzzer.hpp"
+#include "hermes/stats/fct.hpp"
+#include "hermes/workload/flow_gen.hpp"
+#include "hermes/workload/size_dist.hpp"
+
+namespace hermes::harness {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ScenarioConfig to_scenario_config(const faults::fuzz::FuzzScenario& fs, Scheme scheme,
+                                  bool triage) {
+  ScenarioConfig cfg;
+  cfg.topo = fs.topo;
+  cfg.scheme = scheme;
+  cfg.seed = fs.seed;
+  cfg.max_sim_time = fs.max_sim_time;
+  cfg.fault_plan = fs.plan;
+  cfg.check_invariants = true;
+  cfg.obs.enabled = triage;
+  cfg.obs.dump_on_violation = triage;
+  return cfg;
+}
+
+FuzzOutcome run_fuzz_scenario(const faults::fuzz::FuzzScenario& fs, Scheme scheme, bool triage,
+                              const std::string& dump_dir) {
+  ScenarioConfig cfg = to_scenario_config(fs, scheme, triage);
+  if (!dump_dir.empty()) {
+    cfg.obs.dump_path = dump_dir + "/FUZZ_" + std::to_string(fs.seed) + ".htrc";
+  }
+  Scenario s{std::move(cfg)};
+
+  workload::SizeDist dist = (fs.workload == faults::fuzz::Workload::kDataMining
+                                 ? workload::SizeDist::data_mining()
+                                 : workload::SizeDist::web_search())
+                                .scaled(fs.workload_scale);
+  workload::TrafficConfig tc;
+  tc.load = fs.load;
+  tc.num_flows = fs.num_flows;
+  tc.seed = fs.seed;
+  s.add_flows(workload::generate_poisson_traffic(s.topology(), dist, tc));
+
+  const stats::FctCollector fct = s.run();
+
+  FuzzOutcome out;
+  out.seed = fs.seed;
+  out.scheme = scheme;
+  out.unfinished_flows = fct.unfinished_flows();
+  if (const faults::InvariantChecker* inv = s.invariants()) {
+    out.violations = inv->violations().size();
+    if (!inv->violations().empty()) out.first_violation = inv->violations().front().what;
+  }
+  if (!out.clean()) {
+    out.trace_path = s.triage_path();
+    out.repro = "hermesfuzz --seed=" + std::to_string(fs.seed) +
+                " --scheme=" + to_string(scheme);
+  }
+  return out;
+}
+
+std::optional<Scheme> parse_scheme(std::string_view name) {
+  for (const Scheme s :
+       {Scheme::kEcmp, Scheme::kDrb, Scheme::kPrestoStar, Scheme::kLetFlow, Scheme::kConga,
+        Scheme::kCloveEcn, Scheme::kHermes, Scheme::kFlowBender, Scheme::kDrill,
+        Scheme::kWcmp}) {
+    if (iequals(name, to_string(s))) return s;
+  }
+  // Convenience aliases without punctuation, for shells and CI matrices.
+  if (iequals(name, "presto")) return Scheme::kPrestoStar;
+  if (iequals(name, "clove")) return Scheme::kCloveEcn;
+  return std::nullopt;
+}
+
+}  // namespace hermes::harness

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hermes/faults/scenario_fuzzer.hpp"
+#include "hermes/harness/scenario.hpp"
+
+namespace hermes::harness {
+
+/// Result of running one fuzz seed against one scheme. `clean()` is the
+/// CI pass criterion; anything else comes with a dumped trace and a
+/// copy-pasteable repro command.
+struct FuzzOutcome {
+  std::uint64_t seed = 0;
+  Scheme scheme = Scheme::kHermes;
+  std::size_t violations = 0;        ///< hard invariant violations
+  std::size_t unfinished_flows = 0;  ///< flows stranded at the time cap
+  std::string first_violation;       ///< first violation message, if any
+  std::string trace_path;            ///< auto-dumped FUZZ_<seed>.htrc, if any
+  std::string repro;                 ///< one-line replay command, if not clean
+
+  [[nodiscard]] bool clean() const { return violations == 0 && unfinished_flows == 0; }
+};
+
+/// Expand a generated FuzzScenario into a runnable ScenarioConfig for the
+/// given scheme: invariant checking on, and (when `triage` is set) the
+/// flight recorder armed to auto-dump FUZZ_<seed>.htrc on failure. Lives
+/// here, not in faults — the fuzzer stays scheme- and workload-agnostic,
+/// and the harness owns the composition.
+[[nodiscard]] ScenarioConfig to_scenario_config(const faults::fuzz::FuzzScenario& fs,
+                                                Scheme scheme, bool triage = true);
+
+/// Run one fuzz scenario end to end: build the Scenario, generate the
+/// seed's Poisson traffic from its workload mix, run to completion or the
+/// time cap, and collect the triage verdict. Non-empty `dump_dir` places
+/// any triage dump at <dump_dir>/FUZZ_<seed>.htrc instead of the CWD.
+[[nodiscard]] FuzzOutcome run_fuzz_scenario(const faults::fuzz::FuzzScenario& fs, Scheme scheme,
+                                            bool triage = true,
+                                            const std::string& dump_dir = {});
+
+/// Parse a scheme name as printed by to_string(Scheme) ("Hermes",
+/// "CONGA", "CLOVE-ECN", ...), case-insensitively.
+[[nodiscard]] std::optional<Scheme> parse_scheme(std::string_view name);
+
+}  // namespace hermes::harness

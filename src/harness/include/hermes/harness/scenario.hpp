@@ -59,6 +59,14 @@ struct ObsConfig {
   /// Record per-packet port lifecycle events (the bulk of trace volume).
   /// Decision/fault/queue records are always on when `enabled`.
   bool trace_packets = true;
+  /// Auto-triage: when the run ends with invariant violations or
+  /// unfinished flows, dump the ring to `dump_path` (default
+  /// "FUZZ_<seed>.htrc") and print a one-line repro hint to stderr.
+  /// Requires `enabled`; used by the fuzz harness, harmless elsewhere.
+  bool dump_on_violation = false;
+  /// Override for the triage dump path; empty selects FUZZ_<seed>.htrc
+  /// in the working directory.
+  std::string dump_path;
 };
 
 /// Everything needed to run one experiment: fabric, scheme, transport.
@@ -142,6 +150,9 @@ class Scenario {
   /// `hermestrace`. Returns false when observability is off or on I/O
   /// failure.
   [[nodiscard]] bool dump_trace(const std::string& path) const;
+  /// Non-empty once run() auto-dumped a triage trace (obs.dump_on_violation
+  /// and the run ended with violations or unfinished flows).
+  [[nodiscard]] const std::string& triage_path() const { return triage_path_; }
 
   /// Schedule a list of flows (e.g. from workload::generate_poisson_traffic).
   void add_flows(const std::vector<transport::FlowSpec>& flows);
@@ -169,6 +180,7 @@ class Scenario {
  private:
   void build_balancer();
   void wire_observability();
+  void maybe_dump_triage();
 
   /// Flow-level totals accumulated as FlowRecords arrive (completion
   /// callback and end-of-run harvest), so "transport.*" metrics never
@@ -197,6 +209,7 @@ class Scenario {
   TransportTotals transport_totals_;
 
   stats::FctCollector collector_;
+  std::string triage_path_;
   std::unordered_map<std::uint64_t, transport::FlowSpec> active_;
   std::size_t pending_ = 0;
   std::uint64_t next_flow_id_ = 1'000'000;  // manual flows; workloads use small ids

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
@@ -120,6 +121,7 @@ void Scenario::wire_observability() {
   topo_->register_metrics(metrics_);
   if (hermes_) hermes_->register_metrics(metrics_);
   if (fault_sched_) fault_sched_->register_metrics(metrics_);
+  if (checker_) checker_->register_metrics(metrics_);
   metrics_.counter_fn("transport.flows_completed",
                       [this] { return transport_totals_.flows_completed; });
   metrics_.counter_fn("transport.flows_unfinished",
@@ -268,7 +270,33 @@ stats::FctCollector Scenario::run() {
     }
   }
   // Flows scheduled but never started also count as unfinished.
+  maybe_dump_triage();
   return std::move(collector_);
+}
+
+void Scenario::maybe_dump_triage() {
+  if (!config_.obs.dump_on_violation || !recorder_) return;
+  const bool violated = checker_ && !checker_->ok();
+  const bool stranded = transport_totals_.flows_unfinished > 0;
+  if (!violated && !stranded) return;
+  triage_path_ = config_.obs.dump_path.empty()
+                     ? "FUZZ_" + std::to_string(config_.seed) + ".htrc"
+                     : config_.obs.dump_path;
+  if (!dump_trace(triage_path_)) {
+    triage_path_.clear();
+    return;
+  }
+  // One line per failing run, stderr, grep-able: what fired, where the
+  // flight-recorder ring went, and the command that replays the seed.
+  const std::string why = violated ? checker_->violations().front().what
+                                   : std::to_string(transport_totals_.flows_unfinished) +
+                                         " unfinished flows at time cap";
+  std::fprintf(stderr,
+               "[triage] seed=%llu scheme=%s: %s\n"
+               "[triage]   trace: %s  repro: hermesfuzz --seed=%llu --scheme=%s\n",
+               static_cast<unsigned long long>(config_.seed), to_string(config_.scheme),
+               why.c_str(), triage_path_.c_str(),
+               static_cast<unsigned long long>(config_.seed), to_string(config_.scheme));
 }
 
 void Scenario::run_for(sim::SimTime duration) {

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hermes/obs/trace_io.hpp"
+
+namespace hermes::obs {
+
+/// Where two traces' Algorithm-2 decision streams first part ways for one
+/// flow. `a_index`/`b_index` are indices into the respective
+/// LoadedTrace::records; -1 means that side ran out of decisions (one
+/// binary decided more often than the other).
+struct DecisionDiff {
+  std::uint64_t flow_id = 0;
+  std::size_t ordinal = 0;  ///< nth decision of this flow (0-based)
+  std::int64_t a_index = -1;
+  std::int64_t b_index = -1;
+  /// First differing field ("kind", "to_path", "delta_rtt_ns", ...), or
+  /// "missing-in-a"/"missing-in-b" when a side has no such decision.
+  const char* field = "";
+  /// Sim time of the divergent decision (side A's when present, else B's)
+  /// — what "first divergence" is ordered by.
+  std::uint64_t time_ns = 0;
+};
+
+/// Result of aligning two traces' decision records flow by flow.
+struct DiffResult {
+  std::uint64_t decisions_a = 0;
+  std::uint64_t decisions_b = 0;
+  std::uint64_t flows_compared = 0;  ///< union of flows with decisions
+  /// Per-flow first divergence, in ascending flow-id order. Empty means
+  /// the decision streams are identical.
+  std::vector<DecisionDiff> divergences;
+
+  [[nodiscard]] bool identical() const { return divergences.empty(); }
+  /// The divergence earliest in simulated time (ties: lowest flow id);
+  /// null when identical. This is "the first divergent decision" a
+  /// same-seed regression hunt starts from.
+  [[nodiscard]] const DecisionDiff* first() const;
+};
+
+/// Align Algorithm-2 decision records of two traces by flow id (using the
+/// flow index, so cost is proportional to decision count, not trace
+/// size) and report each flow's first divergence. Two decisions are equal
+/// when every recorded field — kind, paths, conditions, ΔRTT, ΔECN, S, R,
+/// leaves, and sim time — matches exactly.
+[[nodiscard]] DiffResult diff_decisions(const LoadedTrace& a, const LoadedTrace& b);
+
+}  // namespace hermes::obs

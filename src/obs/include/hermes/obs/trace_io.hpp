@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,25 +11,58 @@
 namespace hermes::obs {
 
 /// A trace file read back into memory: the raw records plus the string
-/// table needed to resolve their name ids.
+/// table needed to resolve their name ids, plus the flow index that
+/// makes per-flow queries O(log n) on large traces.
 struct LoadedTrace {
+  /// One flow's slice of the index: `count` entries of `flow_perm`
+  /// starting at `begin` are the record indices of `flow_id`, in
+  /// chronological (append) order.
+  struct FlowRange {
+    std::uint64_t flow_id = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t count = 0;
+  };
+
   std::vector<TraceRecord> records;
   std::vector<std::string> names;  ///< index = id - 1, as written
   std::uint64_t overwritten = 0;   ///< records lost to ring wrap before dump
 
+  /// Ranges in ascending flow-id order (binary-searchable). Written at
+  /// dump time for schema >= 2 traces; rebuilt in memory when loading a
+  /// v1 trace, so callers never need to care which schema they read.
+  std::vector<FlowRange> flow_ranges;
+  /// Record indices grouped by flow (see FlowRange).
+  std::vector<std::uint32_t> flow_perm;
+
   /// Resolve a name id ("?" for 0 / out of range), mirroring
   /// StringTable::name so renderers never branch on corrupt input.
   [[nodiscard]] const std::string& name(std::uint32_t id) const;
+
+  /// Record indices of one flow in chronological order (empty when the
+  /// flow is absent). Binary search over flow_ranges: O(log n).
+  [[nodiscard]] std::span<const std::uint32_t> flow_records(std::uint64_t flow_id) const;
+
+  /// All flow ids present, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> flow_ids() const;
 };
 
+/// Build the flow index for a record stream: `perm` becomes the record
+/// indices stably grouped by flow id (chronological within each flow),
+/// `ranges` the ascending per-flow slices. Shared by the trace writer
+/// (dump-time index) and the v1 reader (in-memory rebuild).
+void build_flow_index(const std::vector<TraceRecord>& records,
+                      std::vector<LoadedTrace::FlowRange>& ranges,
+                      std::vector<std::uint32_t>& perm);
+
 /// Dump the recorder's held records and string table to `path` in trace
-/// format schema v1 (little-endian, 64-byte records). Returns false on
-/// I/O failure.
+/// format schema v2 (little-endian, 64-byte records, flow-index footer).
+/// Returns false on I/O failure.
 bool write_trace(const std::string& path, const FlightRecorder& rec);
 
-/// Load a schema-v1 trace file. Returns false (and leaves `out` empty)
-/// on I/O failure, bad magic, or version/record-size mismatch; `err`
-/// (when non-null) receives a one-line reason.
+/// Load a schema v1 or v2 trace file. Returns false (and leaves `out`
+/// empty) on I/O failure, bad magic, version/record-size mismatch, or a
+/// truncated/corrupt body — partial input never yields partial output;
+/// `err` (when non-null) receives a one-line reason.
 bool read_trace(const std::string& path, LoadedTrace& out, std::string* err = nullptr);
 
 }  // namespace hermes::obs

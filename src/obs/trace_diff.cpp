@@ -1,0 +1,113 @@
+#include "hermes/obs/trace_diff.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hermes/obs/records.hpp"
+
+namespace hermes::obs {
+
+namespace {
+
+/// Decision-record indices of one flow, chronological. The flow index
+/// hands us the flow's records in O(log n); we keep only decisions.
+std::vector<std::uint32_t> decision_indices(const LoadedTrace& t, std::uint64_t flow_id) {
+  std::vector<std::uint32_t> out;
+  for (const std::uint32_t idx : t.flow_records(flow_id)) {
+    if (t.records[idx].kind == RecordKind::kDecision) out.push_back(idx);
+  }
+  return out;
+}
+
+/// Name of the first differing field, or nullptr when records match.
+const char* first_field_diff(const TraceRecord& a, const TraceRecord& b) {
+  const DecisionPayload& da = a.u.decision;
+  const DecisionPayload& db = b.u.decision;
+  if (da.kind != db.kind) return "kind";
+  if (da.from_path != db.from_path) return "from_path";
+  if (da.to_path != db.to_path) return "to_path";
+  if (da.from_cond != db.from_cond) return "from_cond";
+  if (da.to_cond != db.to_cond) return "to_cond";
+  if (da.delta_rtt_ns != db.delta_rtt_ns) return "delta_rtt_ns";
+  if (da.delta_ecn != db.delta_ecn) return "delta_ecn";
+  if (da.sent_bytes != db.sent_bytes) return "sent_bytes";
+  if (da.rate_bps != db.rate_bps) return "rate_bps";
+  if (da.src_leaf != db.src_leaf) return "src_leaf";
+  if (da.dst_leaf != db.dst_leaf) return "dst_leaf";
+  if (a.time_ns != b.time_ns) return "time_ns";
+  return nullptr;
+}
+
+}  // namespace
+
+const DecisionDiff* DiffResult::first() const {
+  const DecisionDiff* best = nullptr;
+  for (const DecisionDiff& d : divergences) {
+    if (best == nullptr || d.time_ns < best->time_ns ||
+        (d.time_ns == best->time_ns && d.flow_id < best->flow_id)) {
+      best = &d;
+    }
+  }
+  return best;
+}
+
+DiffResult diff_decisions(const LoadedTrace& a, const LoadedTrace& b) {
+  DiffResult res;
+  for (const TraceRecord& r : a.records) {
+    if (r.kind == RecordKind::kDecision) ++res.decisions_a;
+  }
+  for (const TraceRecord& r : b.records) {
+    if (r.kind == RecordKind::kDecision) ++res.decisions_b;
+  }
+
+  // Merge the two ascending flow-range lists so flows present in only
+  // one trace are still compared (and reported as missing on the other
+  // side once their first decision has no counterpart).
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.flow_ranges.size() || ib < b.flow_ranges.size()) {
+    std::uint64_t flow = 0;
+    if (ib >= b.flow_ranges.size()) {
+      flow = a.flow_ranges[ia].flow_id;
+    } else if (ia >= a.flow_ranges.size()) {
+      flow = b.flow_ranges[ib].flow_id;
+    } else {
+      flow = std::min(a.flow_ranges[ia].flow_id, b.flow_ranges[ib].flow_id);
+    }
+    if (ia < a.flow_ranges.size() && a.flow_ranges[ia].flow_id == flow) ++ia;
+    if (ib < b.flow_ranges.size() && b.flow_ranges[ib].flow_id == flow) ++ib;
+
+    const std::vector<std::uint32_t> das = decision_indices(a, flow);
+    const std::vector<std::uint32_t> dbs = decision_indices(b, flow);
+    if (das.empty() && dbs.empty()) continue;  // packet-only flow: nothing to align
+    ++res.flows_compared;
+
+    const std::size_t n = das.size() < dbs.size() ? das.size() : dbs.size();
+    bool diverged = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceRecord& ra = a.records[das[i]];
+      const TraceRecord& rb = b.records[dbs[i]];
+      if (const char* field = first_field_diff(ra, rb)) {
+        res.divergences.push_back({flow, i, static_cast<std::int64_t>(das[i]),
+                                   static_cast<std::int64_t>(dbs[i]), field, ra.time_ns});
+        diverged = true;
+        break;
+      }
+    }
+    if (!diverged && das.size() != dbs.size()) {
+      // Streams agree up to the shorter side, then one keeps deciding.
+      if (das.size() > dbs.size()) {
+        res.divergences.push_back({flow, n, static_cast<std::int64_t>(das[n]), -1, "missing-in-b",
+                                   a.records[das[n]].time_ns});
+      } else {
+        res.divergences.push_back({flow, n, -1, static_cast<std::int64_t>(dbs[n]), "missing-in-a",
+                                   b.records[dbs[n]].time_ns});
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace hermes::obs

@@ -1,9 +1,13 @@
 #include "hermes/obs/trace_io.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <numeric>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,17 +16,27 @@ namespace hermes::obs {
 
 namespace {
 
-// Trace format schema v1:
+// Trace format schema v2:
 //   char[4]  magic "HTRC"
-//   u32      version (1)
+//   u32      version (2)
 //   u32      record_size (64)
 //   u32      name_count
 //   u64      record_count
 //   u64      overwritten
 //   name_count × { u32 len; char[len] }   (ids 1..name_count in order)
 //   record_count × TraceRecord            (raw little-endian structs)
+//   char[4]  index magic "HIDX"           (footer, v2 only)
+//   u32      flow_count
+//   flow_count × { u64 flow_id; u64 begin; u64 count }   (ascending flow_id)
+//   record_count × u32                    (flow-grouped record indices)
+//
+// v1 is the same file without the footer; the reader accepts both and
+// rebuilds the index in memory for v1, so `hermestrace --flow/--diff`
+// and any other per-flow query stay O(log n) regardless of schema.
 constexpr char kMagic[4] = {'H', 'T', 'R', 'C'};
-constexpr std::uint32_t kVersion = 1;
+constexpr char kIndexMagic[4] = {'H', 'I', 'D', 'X'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldestReadable = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -40,12 +54,56 @@ bool fail(std::string* err, const char* why) {
   return false;
 }
 
+/// Bytes from the current position to end-of-file (0 on any seek error).
+std::uint64_t bytes_remaining(std::FILE* f) {
+  const long here = std::ftell(f);
+  if (here < 0 || std::fseek(f, 0, SEEK_END) != 0) return 0;
+  const long end = std::ftell(f);
+  std::fseek(f, here, SEEK_SET);
+  return end > here ? static_cast<std::uint64_t>(end - here) : 0;
+}
+
 }  // namespace
 
 const std::string& LoadedTrace::name(std::uint32_t id) const {
   static const std::string kUnknown = "?";
   if (id == 0 || id > names.size()) return kUnknown;
   return names[id - 1];
+}
+
+std::span<const std::uint32_t> LoadedTrace::flow_records(std::uint64_t flow_id) const {
+  const auto it = std::lower_bound(
+      flow_ranges.begin(), flow_ranges.end(), flow_id,
+      [](const FlowRange& r, std::uint64_t id) { return r.flow_id < id; });
+  if (it == flow_ranges.end() || it->flow_id != flow_id) return {};
+  return std::span<const std::uint32_t>{flow_perm}.subspan(it->begin, it->count);
+}
+
+std::vector<std::uint64_t> LoadedTrace::flow_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(flow_ranges.size());
+  for (const FlowRange& r : flow_ranges) ids.push_back(r.flow_id);
+  return ids;
+}
+
+void build_flow_index(const std::vector<TraceRecord>& records,
+                      std::vector<LoadedTrace::FlowRange>& ranges,
+                      std::vector<std::uint32_t>& perm) {
+  ranges.clear();
+  perm.resize(records.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  // Stable: records are in append (chronological) order, so within each
+  // flow the permutation stays time-ordered.
+  std::stable_sort(perm.begin(), perm.end(), [&records](std::uint32_t a, std::uint32_t b) {
+    return records[a].flow_id < records[b].flow_id;
+  });
+  for (std::size_t i = 0; i < perm.size();) {
+    const std::uint64_t flow = records[perm[i]].flow_id;
+    std::size_t j = i;
+    while (j < perm.size() && records[perm[j]].flow_id == flow) ++j;
+    ranges.push_back({flow, i, j - i});
+    i = j;
+  }
 }
 
 bool write_trace(const std::string& path, const FlightRecorder& rec) {
@@ -70,6 +128,21 @@ bool write_trace(const std::string& path, const FlightRecorder& rec) {
       std::fwrite(records.data(), sizeof(TraceRecord), records.size(), fp) != records.size()) {
     return false;
   }
+
+  // Flow-index footer: built once at dump time so readers of multi-GB
+  // traces answer per-flow queries without a full scan.
+  std::vector<LoadedTrace::FlowRange> ranges;
+  std::vector<std::uint32_t> perm;
+  build_flow_index(records, ranges, perm);
+  if (std::fwrite(kIndexMagic, 1, 4, fp) != 4) return false;
+  if (!put_u32(fp, static_cast<std::uint32_t>(ranges.size()))) return false;
+  for (const LoadedTrace::FlowRange& r : ranges) {
+    if (!put_u64(fp, r.flow_id) || !put_u64(fp, r.begin) || !put_u64(fp, r.count)) return false;
+  }
+  if (!perm.empty() &&
+      std::fwrite(perm.data(), sizeof(std::uint32_t), perm.size(), fp) != perm.size()) {
+    return false;
+  }
   return std::fflush(fp) == 0;
 }
 
@@ -91,8 +164,19 @@ bool read_trace(const std::string& path, LoadedTrace& out, std::string* err) {
       !get_u64(fp, record_count) || !get_u64(fp, out.overwritten)) {
     return fail(err, "truncated header");
   }
-  if (version != kVersion) return fail(err, "unsupported trace version");
+  if (version < kOldestReadable || version > kVersion) {
+    return fail(err, "unsupported trace version");
+  }
   if (record_size != sizeof(TraceRecord)) return fail(err, "record size mismatch");
+
+  // Sanity-check declared counts against the actual file size before
+  // resizing anything: a corrupt header must produce a clean error, not
+  // a multi-gigabyte allocation followed by partial output.
+  const std::uint64_t remaining = bytes_remaining(fp);
+  if (name_count > remaining / sizeof(std::uint32_t) ||
+      record_count > remaining / sizeof(TraceRecord)) {
+    return fail(err, "declared sizes exceed file size (corrupt header)");
+  }
 
   out.names.reserve(name_count);
   for (std::uint32_t i = 0; i < name_count; ++i) {
@@ -107,7 +191,55 @@ bool read_trace(const std::string& path, LoadedTrace& out, std::string* err) {
   out.records.resize(record_count);
   if (record_count != 0 &&
       std::fread(out.records.data(), sizeof(TraceRecord), record_count, fp) != record_count) {
-    return fail(err, "truncated record section");
+    out = LoadedTrace{};
+    return fail(err, "truncated record section (short record tail)");
+  }
+
+  if (version < 2) {
+    // v1 has no footer; rebuild the index so every caller sees one.
+    build_flow_index(out.records, out.flow_ranges, out.flow_perm);
+    return true;
+  }
+
+  char idx_magic[4];
+  if (std::fread(idx_magic, 1, 4, fp) != 4 || std::memcmp(idx_magic, kIndexMagic, 4) != 0) {
+    out = LoadedTrace{};
+    return fail(err, "missing flow-index footer");
+  }
+  std::uint32_t flow_count = 0;
+  if (!get_u32(fp, flow_count) || flow_count > record_count) {
+    out = LoadedTrace{};
+    return fail(err, "corrupt flow index");
+  }
+  out.flow_ranges.resize(flow_count);
+  std::uint64_t total = 0;
+  std::uint64_t prev_flow = 0;
+  for (std::uint32_t i = 0; i < flow_count; ++i) {
+    LoadedTrace::FlowRange& r = out.flow_ranges[i];
+    if (!get_u64(fp, r.flow_id) || !get_u64(fp, r.begin) || !get_u64(fp, r.count) ||
+        r.begin != total || r.count == 0 || r.count > record_count - total ||
+        (i != 0 && r.flow_id <= prev_flow)) {
+      out = LoadedTrace{};
+      return fail(err, "corrupt flow index");
+    }
+    prev_flow = r.flow_id;
+    total += r.count;
+  }
+  if (total != record_count) {
+    out = LoadedTrace{};
+    return fail(err, "corrupt flow index");
+  }
+  out.flow_perm.resize(record_count);
+  if (record_count != 0 && std::fread(out.flow_perm.data(), sizeof(std::uint32_t), record_count,
+                                      fp) != record_count) {
+    out = LoadedTrace{};
+    return fail(err, "truncated flow index");
+  }
+  for (const std::uint32_t idx : out.flow_perm) {
+    if (idx >= record_count) {
+      out = LoadedTrace{};
+      return fail(err, "corrupt flow index");
+    }
   }
   return true;
 }

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
 #include <vector>
 
 #include <map>
@@ -196,6 +197,85 @@ TEST(FaultScheduler, TransitionCallbackFires) {
   EXPECT_EQ(seen[0], FaultAction::kRandomDropSet);
 }
 
+// --- FaultScheduler edge cases ------------------------------------------
+// The fuzzer's adversarial patterns lean on these semantics: re-breaking
+// an already-broken thing is not a new fault, healing a healthy thing is
+// not a negative one, and ties execute in plan insertion order.
+
+TEST(FaultSchedulerEdge, OverlappingSameLinkCutsCountOnce) {
+  sim::Simulator simulator{1};
+  net::Topology topo{simulator, small_topo()};
+  FaultScheduler sched{simulator, topo};
+
+  FaultPlan plan;
+  plan.link_down(msec(1), 0, 0).link_down(msec(2), 0, 0).link_up(msec(3), 0, 0);
+  sched.install(plan);
+
+  simulator.run_until(msec(2) + usec(1));
+  EXPECT_FALSE(topo.leaf_uplink(0, 0).link_up());
+  EXPECT_EQ(sched.active_faults(), 1);  // second cut of a dead link is not a new fault
+
+  simulator.run_until(msec(4));
+  EXPECT_TRUE(topo.leaf_uplink(0, 0).link_up());
+  EXPECT_EQ(sched.active_faults(), 0);  // one heal undoes both cuts
+  EXPECT_EQ(sched.applied(), 3u);
+}
+
+TEST(FaultSchedulerEdge, RecoveryBeforeOnsetIsANoOp) {
+  sim::Simulator simulator{1};
+  net::Topology topo{simulator, small_topo()};
+  FaultScheduler sched{simulator, topo};
+
+  FaultPlan plan;
+  plan.link_up(msec(1), 0, 1);  // heals a link that was never cut
+  plan.link_down(msec(2), 0, 1);
+  plan.link_up(msec(3), 0, 1);
+  sched.install(plan);
+
+  simulator.run_until(msec(1) + usec(1));
+  EXPECT_TRUE(topo.leaf_uplink(0, 1).link_up());
+  EXPECT_EQ(sched.active_faults(), 0);  // not -1
+
+  simulator.run_until(msec(4));
+  EXPECT_TRUE(topo.leaf_uplink(0, 1).link_up());
+  EXPECT_EQ(sched.active_faults(), 0);
+}
+
+TEST(FaultSchedulerEdge, RecoveryTiedWithOnsetRunsInInsertionOrder) {
+  sim::Simulator simulator{1};
+  net::Topology topo{simulator, small_topo()};
+  FaultScheduler sched{simulator, topo};
+
+  // Same timestamp: the stable sort keeps insertion order, so the heal
+  // (inserted first) applies to the still-healthy link, then the cut
+  // lands — the link ends the tick down.
+  FaultPlan plan;
+  plan.link_up(msec(1), 1, 1).link_down(msec(1), 1, 1);
+  sched.install(plan);
+  simulator.run_until(msec(2));
+  EXPECT_FALSE(topo.leaf_uplink(1, 1).link_up());
+  EXPECT_EQ(sched.active_faults(), 1);
+  ASSERT_EQ(sched.log().size(), 2u);
+  EXPECT_EQ(sched.log()[0].action, FaultAction::kLinkUp);
+  EXPECT_EQ(sched.log()[1].action, FaultAction::kLinkDown);
+}
+
+TEST(FaultSchedulerEdge, ZeroDurationFaultHealsWithinTheTick) {
+  sim::Simulator simulator{1};
+  net::Topology topo{simulator, small_topo()};
+  FaultScheduler sched{simulator, topo};
+
+  FaultPlan plan;
+  plan.random_drop(msec(1), 0, 0.5).random_drop(msec(1), 0, 0.0);
+  plan.link_down(msec(1), 0, 0).link_up(msec(1), 0, 0);
+  sched.install(plan);
+  simulator.run_until(msec(2));
+  EXPECT_DOUBLE_EQ(topo.spine(0).failure().random_drop_rate, 0.0);
+  EXPECT_TRUE(topo.leaf_uplink(0, 0).link_up());
+  EXPECT_EQ(sched.active_faults(), 0);
+  EXPECT_EQ(sched.applied(), 4u);
+}
+
 // --- RandomFaultGenerator -----------------------------------------------
 
 TEST(RandomFaultGenerator, SameSeedSamePlan) {
@@ -325,6 +405,23 @@ TEST(InvariantChecker, WatchdogCountsStuckFlowsUnderPermanentBlackhole) {
   ASSERT_NE(s.invariants(), nullptr);
   EXPECT_GT(s.invariants()->max_stuck_flows(), 0u);
   EXPECT_TRUE(s.invariants()->ok());  // stuck flows are a metric, not a violation
+}
+
+TEST(InvariantChecker, RegistersPerInvariantCounters) {
+  harness::ScenarioConfig cfg;
+  cfg.topo = small_topo();
+  cfg.scheme = harness::Scheme::kEcmp;
+  cfg.check_invariants = true;
+  harness::Scenario s{cfg};
+  s.add_flow(0, 2, 100'000, usec(0));
+  s.run();
+  const std::string snap = s.metrics().snapshot_text();
+  EXPECT_NE(snap.find("invariants.checks_run"), std::string::npos);
+  EXPECT_NE(snap.find("invariants.violations.byte_conservation 0"), std::string::npos);
+  EXPECT_NE(snap.find("invariants.violations.queue_bound 0"), std::string::npos);
+  EXPECT_NE(snap.find("invariants.violations.shared_buffer 0"), std::string::npos);
+  EXPECT_EQ(s.invariants()->violation_count(Invariant::kByteConservation), 0u);
+  EXPECT_STREQ(to_string(Invariant::kQueueBound), "queue-bound");
 }
 
 // --- determinism regression ---------------------------------------------

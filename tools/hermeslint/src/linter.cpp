@@ -151,6 +151,19 @@ constexpr SymbolHeader kObsSymbolHeaders[] = {
     {"LoadedTrace", "hermes/obs/trace_io.hpp"},
     {"read_trace", "hermes/obs/trace_io.hpp"},
     {"write_trace", "hermes/obs/trace_io.hpp"},
+    {"build_flow_index", "hermes/obs/trace_io.hpp"},
+    {"DiffResult", "hermes/obs/trace_diff.hpp"},
+    {"DecisionDiff", "hermes/obs/trace_diff.hpp"},
+    {"diff_decisions", "hermes/obs/trace_diff.hpp"},
+};
+
+/// Curated faults::fuzz:: symbol map, mirroring kObsSymbolHeaders: the
+/// fuzzer types ride in harness/tool code that must name their header
+/// directly. Matched as `fuzz::<symbol>` with a preceding `faults` scope.
+constexpr SymbolHeader kFuzzSymbolHeaders[] = {
+    {"RandomScenarioGenerator", "hermes/faults/scenario_fuzzer.hpp"},
+    {"FuzzScenario", "hermes/faults/scenario_fuzzer.hpp"},
+    {"FuzzLimits", "hermes/faults/scenario_fuzzer.hpp"},
 };
 
 /// Member types banned inside HERMES_POD_RECORD structs (obs.pod-record):
@@ -710,6 +723,30 @@ void Linter::lint_file(const File& f, LintResult& out) const {
         if (!reported_symbols.insert(key).second) continue;
         emit(kHdrDirectInclude, i,
              "obs::" + key + " needs a direct #include \"" + std::string(sh.header) +
+                 "\" (transitive includes are not guaranteed)");
+      }
+    }
+
+    // ---- header.direct-include (faults::fuzz:: symbols) ----
+    for (std::size_t pos = code.find("fuzz::"); pos != std::string::npos;
+         pos = code.find("fuzz::", pos + 1)) {
+      if (pos > 0) {
+        const char prev = code[pos - 1];
+        if (is_ident_char(prev)) continue;
+        if (prev == ':') {
+          // Accept faults::fuzz:: / hermes::faults::fuzz:: only.
+          if (pos < 2 || code[pos - 2] != ':' || ident_before(code, pos - 2) != "faults") {
+            continue;
+          }
+        }
+      }
+      for (const SymbolHeader& sh : kFuzzSymbolHeaders) {
+        if (!matches_identifier_at(code, pos + 6, sh.symbol)) continue;
+        if (includes.find(sh.header) != includes.end()) continue;
+        const std::string key = std::string(sh.symbol);
+        if (!reported_symbols.insert(key).second) continue;
+        emit(kHdrDirectInclude, i,
+             "fuzz::" + key + " needs a direct #include \"" + std::string(sh.header) +
                  "\" (transitive includes are not guaranteed)");
       }
     }

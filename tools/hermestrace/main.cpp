@@ -5,14 +5,20 @@
 //
 //   hermestrace FILE --summary            what happened, at a glance
 //   hermestrace FILE --flow=N             one flow's full event timeline
+//                                         (flow-index lookup: O(log n))
 //   hermestrace FILE --decisions          every Algorithm 2 decision record
+//   hermestrace A --diff B                align Algorithm-2 decisions by
+//                                         flow id, report first divergence
 //   hermestrace FILE ... --json           machine-readable output
 //   hermestrace FILE --chrome=OUT.json    Chrome trace-event timeline
 //                                         (load in chrome://tracing / Perfetto)
 //
-// Exit status: 0 ok, 1 bad query (e.g. unknown flow), 2 usage/IO error.
+// Exit status: 0 ok, 1 bad query (unknown flow) or divergent --diff,
+// 2 usage/IO error. Truncated or corrupt trace input always exits 2
+// with a one-line reason — never partial output.
 
 #include <cinttypes>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "hermes/obs/records.hpp"
+#include "hermes/obs/trace_diff.hpp"
 #include "hermes/obs/trace_io.hpp"
 
 namespace {
@@ -292,6 +299,91 @@ int print_filtered(const LoadedTrace& t, bool json,
   return 0;
 }
 
+/// --flow=N: the flow index resolves the flow's records in O(log n)
+/// instead of scanning the whole trace; output order stays chronological
+/// because the index preserves append order within a flow.
+int cmd_flow(const LoadedTrace& t, std::uint64_t flow_id, bool json) {
+  std::uint64_t n = 0;
+  if (json) std::printf("[");
+  for (const std::uint32_t idx : t.flow_records(flow_id)) {
+    const TraceRecord& r = t.records[idx];
+    if (r.kind != RecordKind::kPacket && r.kind != RecordKind::kDecision) continue;
+    if (json) {
+      std::printf("%s%s", n != 0 ? ",\n " : "", render_json(t, r).c_str());
+    } else {
+      std::printf("%s\n", render(t, r).c_str());
+    }
+    ++n;
+  }
+  if (json) std::printf("]\n");
+  if (n == 0 && !json) {
+    std::fprintf(stderr, "hermestrace: no matching records\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// One side of a divergence ("-" when that run has no such decision).
+std::string diff_side(const LoadedTrace& t, std::int64_t index) {
+  if (index < 0) return "(no decision)";
+  return render(t, t.records[static_cast<std::size_t>(index)]);
+}
+
+/// --diff: align Algorithm-2 decision records by flow id and pinpoint the
+/// first divergence — the debugging primitive for "same seed, different
+/// binary" regressions. Exit 0 identical, 1 divergent.
+int cmd_diff(const LoadedTrace& a, const LoadedTrace& b, const std::string& name_a,
+             const std::string& name_b, bool json) {
+  const hermes::obs::DiffResult res = hermes::obs::diff_decisions(a, b);
+  if (json) {
+    std::printf("{\"a\":\"%s\",\"b\":\"%s\",\"decisions_a\":%" PRIu64 ",\"decisions_b\":%" PRIu64
+                ",\"flows_compared\":%" PRIu64 ",\"divergent_flows\":%zu,\"divergences\":[",
+                json_escape(name_a).c_str(), json_escape(name_b).c_str(), res.decisions_a,
+                res.decisions_b, res.flows_compared, res.divergences.size());
+    bool first = true;
+    for (const hermes::obs::DecisionDiff& d : res.divergences) {
+      std::printf("%s{\"flow\":%" PRIu64 ",\"ordinal\":%zu,\"field\":\"%s\",\"t_us\":%.3f,"
+                  "\"a\":%s,\"b\":%s}",
+                  first ? "" : ",\n ", d.flow_id, d.ordinal, d.field, usec(d.time_ns),
+                  d.a_index >= 0
+                      ? render_json(a, a.records[static_cast<std::size_t>(d.a_index)]).c_str()
+                      : "null",
+                  d.b_index >= 0
+                      ? render_json(b, b.records[static_cast<std::size_t>(d.b_index)]).c_str()
+                      : "null");
+      first = false;
+    }
+    std::printf("]}\n");
+    return res.identical() ? 0 : 1;
+  }
+
+  std::printf("diff: %s vs %s\n", name_a.c_str(), name_b.c_str());
+  std::printf("decisions: %" PRIu64 " vs %" PRIu64 ", flows compared: %" PRIu64
+              ", divergent flows: %zu\n",
+              res.decisions_a, res.decisions_b, res.flows_compared, res.divergences.size());
+  if (res.identical()) {
+    std::printf("decision streams are identical\n");
+    return 0;
+  }
+  const hermes::obs::DecisionDiff* first = res.first();
+  std::printf("first divergence: %12.3fus flow=%" PRIu64 " decision #%zu field=%s\n",
+              usec(first->time_ns), first->flow_id, first->ordinal, first->field);
+  std::printf("  A: %s\n", diff_side(a, first->a_index).c_str());
+  std::printf("  B: %s\n", diff_side(b, first->b_index).c_str());
+  constexpr std::size_t kMaxShown = 10;
+  std::printf("per-flow first divergences:\n");
+  for (std::size_t i = 0; i < res.divergences.size(); ++i) {
+    if (i == kMaxShown) {
+      std::printf("  ... and %zu more (use --json for all)\n", res.divergences.size() - i);
+      break;
+    }
+    const hermes::obs::DecisionDiff& d = res.divergences[i];
+    std::printf("  %12.3fus flow=%" PRIu64 " decision #%zu field=%s\n", usec(d.time_ns),
+                d.flow_id, d.ordinal, d.field);
+  }
+  return 1;
+}
+
 /// Chrome trace-event format (chrome://tracing, Perfetto): instant events
 /// on per-port/per-flow tracks, counter tracks for queue backlog.
 int cmd_chrome(const LoadedTrace& t, const std::string& out_path) {
@@ -361,7 +453,7 @@ int cmd_chrome(const LoadedTrace& t, const std::string& out_path) {
 
 void usage(std::FILE* to) {
   std::fputs("usage: hermestrace FILE [--summary] [--flow=N] [--decisions]"
-             " [--json] [--chrome=OUT.json]\n",
+             " [--diff=OTHER.htrc] [--json] [--chrome=OUT.json]\n",
              to);
 }
 
@@ -375,10 +467,15 @@ int main(int argc, char** argv) {
   bool have_flow = false;
   std::uint64_t flow_id = 0;
   std::string chrome_out;
+  std::string diff_other;
+  bool next_is_diff = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--summary") {
+    if (next_is_diff) {
+      diff_other = a;
+      next_is_diff = false;
+    } else if (a == "--summary") {
       want_summary = true;
     } else if (a == "--decisions") {
       want_decisions = true;
@@ -389,6 +486,10 @@ int main(int argc, char** argv) {
       flow_id = std::strtoull(a.c_str() + 7, nullptr, 10);
     } else if (a.rfind("--chrome=", 0) == 0) {
       chrome_out = a.substr(9);
+    } else if (a.rfind("--diff=", 0) == 0) {
+      diff_other = a.substr(7);
+    } else if (a == "--diff") {
+      next_is_diff = true;  // allow `hermestrace A --diff B`
     } else if (a == "--help" || a == "-h") {
       usage(stdout);
       return 0;
@@ -402,7 +503,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (file.empty()) {
+  if (file.empty() || next_is_diff) {
     usage(stderr);
     return 2;
   }
@@ -414,13 +515,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!chrome_out.empty()) return cmd_chrome(trace, chrome_out);
-  if (have_flow) {
-    return print_filtered(trace, want_json, [flow_id](const TraceRecord& r) {
-      return r.flow_id == flow_id &&
-             (r.kind == RecordKind::kPacket || r.kind == RecordKind::kDecision);
-    });
+  if (!diff_other.empty()) {
+    LoadedTrace other;
+    if (!hermes::obs::read_trace(diff_other, other, &err)) {
+      std::fprintf(stderr, "hermestrace: %s: %s\n", diff_other.c_str(), err.c_str());
+      return 2;
+    }
+    return cmd_diff(trace, other, file, diff_other, want_json);
   }
+  if (!chrome_out.empty()) return cmd_chrome(trace, chrome_out);
+  if (have_flow) return cmd_flow(trace, flow_id, want_json);
   if (want_decisions) {
     return print_filtered(trace, want_json,
                           [](const TraceRecord& r) { return r.kind == RecordKind::kDecision; });
