@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Tier-1 perf-regression guard.
+
+Compares a fresh bench_core_micro JSON against the committed baseline
+(BENCH_core.json at the repo root) and hard-fails when the zero-alloc
+packet pipeline regresses:
+
+  * packet_pipeline_steady.allocs_per_packet must stay <= 0.01
+    (the arena/ring pipeline's steady state allocates nothing per packet;
+    bench_core_micro also asserts this internally — the check here catches
+    a stale binary or a tampered JSON as well), and
+  * packet_pipeline_10mb.packets_per_sec must not drop more than 50%
+    below the committed baseline, judged on the better of the raw ratio
+    and a machine-speed-normalized ratio.
+
+The alloc budget is the hard invariant: allocation counts are
+deterministic, so any nonzero drift there is a real regression. The
+throughput gate is deliberately loose (50%): wall-clock on shared/
+virtualized CI-class machines swings run to run (interleaved A/B runs
+of identical binaries measured a 2x spread here), so a tight ratio
+would flake. To keep the loose gate meaningful across machine states,
+the current run is also scaled by the dre_add_read canary (a tiny
+fixed-work loop whose ns/op tracks how fast the machine is *right
+now*): normalized = pps * (cur_dre / base_dre). Passing either the raw
+or the normalized ratio is enough; a genuine algorithmic regression —
+the failure mode this guard exists for, which costs integer factors,
+not percents — fails both.
+
+Usage: check_bench_regress.py <baseline.json> <current.json>
+"""
+
+import json
+import sys
+
+ALLOC_BUDGET = 0.01
+MAX_REGRESSION = 0.50
+
+
+def metric(doc, bench, name):
+    try:
+        return float(doc["metrics"][bench][name])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        current = json.load(f)
+
+    failures = []
+
+    allocs = metric(current, "packet_pipeline_steady", "allocs_per_packet")
+    if allocs is None:
+        failures.append(
+            "current run has no packet_pipeline_steady.allocs_per_packet "
+            "metric — bench binary predates the arena pipeline?"
+        )
+    elif allocs > ALLOC_BUDGET:
+        failures.append(
+            f"steady-state pipeline allocates {allocs:.4f} per packet "
+            f"(budget {ALLOC_BUDGET}) — the zero-alloc arena path regressed"
+        )
+
+    base_pps = metric(baseline, "packet_pipeline_10mb", "packets_per_sec")
+    cur_pps = metric(current, "packet_pipeline_10mb", "packets_per_sec")
+    if base_pps is None:
+        failures.append(f"baseline {argv[1]} lacks packet_pipeline_10mb.packets_per_sec")
+    elif cur_pps is None:
+        failures.append("current run lacks packet_pipeline_10mb.packets_per_sec")
+    else:
+        raw = cur_pps / base_pps
+        # Machine-speed normalization via the dre_add_read canary (see
+        # module docstring); fall back to the raw ratio if either run
+        # lacks the canary metric.
+        base_dre = metric(baseline, "dre_add_read", "ns_per_op")
+        cur_dre = metric(current, "dre_add_read", "ns_per_op")
+        normalized = (
+            raw * (cur_dre / base_dre) if base_dre and cur_dre else raw
+        )
+        best = max(raw, normalized)
+        if best < 1.0 - MAX_REGRESSION:
+            failures.append(
+                f"packet_pipeline_10mb throughput {cur_pps:,.0f} pkts/s is "
+                f"{100 * (1 - raw):.1f}% below the committed baseline "
+                f"{base_pps:,.0f} pkts/s even after machine-speed "
+                f"normalization ({100 * (1 - normalized):.1f}% below; "
+                f"max allowed {100 * MAX_REGRESSION:.0f}%)"
+            )
+        else:
+            print(
+                f"perf guard: {cur_pps:,.0f} pkts/s vs baseline {base_pps:,.0f} "
+                f"(raw {100 * (raw - 1):+.1f}%, normalized {100 * (normalized - 1):+.1f}%), "
+                f"steady allocs/pkt {allocs if allocs is not None else float('nan'):.4f}"
+            )
+
+    if failures:
+        for msg in failures:
+            print(f"perf guard FAIL: {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

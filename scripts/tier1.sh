@@ -6,8 +6,11 @@
 #   2. hermeslint over the whole tree — zero findings required; see
 #      DESIGN.md "Static analysis & invariants" for the rules.
 #   3. Release (-O2, NDEBUG) build + `bench_core_micro --smoke`, proving
-#      the perf-measurement path itself stays alive (full numbers go to
-#      BENCH_core.json; see EXPERIMENTS.md).
+#      the perf-measurement path itself stays alive, followed by the
+#      perf-regression guard: steady-state allocs/packet must stay
+#      <= 0.01 and packet_pipeline_10mb throughput within 50% of the
+#      committed BENCH_core.json baseline (full numbers live there; see
+#      EXPERIMENTS.md).
 #   4. Fuzz smoke: 25 seeds through hermesfuzz. The nightly workflow
 #      (fuzz.yml) runs thousands; this is the per-change canary that the
 #      fuzz loop itself still works and the first seeds stay clean.
@@ -33,6 +36,7 @@ echo "== [3/5] Release build + bench_core_micro --smoke =="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "$JOBS" --target bench_core_micro
 (cd build-rel && ./bench/bench_core_micro --smoke --json=BENCH_core_smoke.json)
+python3 scripts/check_bench_regress.py BENCH_core.json build-rel/BENCH_core_smoke.json
 
 echo "== [4/5] fuzz smoke (25 seeds) =="
 FUZZ_OUT="$(mktemp -d)"

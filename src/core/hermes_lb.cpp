@@ -116,6 +116,8 @@ int HermesLb::pick_fresh(PairState& ps, const std::vector<net::FabricPath>& path
 int HermesLb::pick_notably_better(PairState& ps, const std::vector<net::FabricPath>& paths,
                                   int cur_local, const lb::FlowCtx& flow) {
   const PathState& cur = ps.paths[cur_local];
+  // hermeslint:allow(hotpath.hot-file-member) built once per reroute decision (flowlet
+  // granularity), never per packet; the pointer-parameter contract below needs a type
   const std::function<bool(const PathState&)> notably_better = [&](const PathState& cand) {
     if (!cand.has_sample()) return false;
     if (cur.rtt() - cand.rtt() <= config_.delta_rtt) return false;

@@ -136,6 +136,16 @@ class InvariantChecker {
   InvariantCheckerConfig config_;
   std::function<std::vector<FlowProgress>()> snapshot_fn_;
 
+  // Hooks that were installed before the checker wrapped them. The
+  // port/host hooks have fixed inline capacity (sim::InlineCallable), so
+  // the wrapper cannot capture its predecessor by value the way a
+  // std::function chain could; instead predecessors live here and the
+  // wrappers capture `this` plus an index (16 bytes).
+  std::vector<net::Port::Hook> prev_nic_enqueue_;   ///< one per host NIC
+  std::vector<net::Port::Hook> prev_nic_drop_;      ///< one per host NIC
+  std::vector<net::Host::ReceiveFn> prev_host_rx_;  ///< one per host
+  std::vector<net::Port::Hook> prev_switch_drop_;   ///< switch ports, flattened
+
   std::uint64_t injected_packets_ = 0;
   std::uint64_t injected_bytes_ = 0;
   std::uint64_t delivered_packets_ = 0;

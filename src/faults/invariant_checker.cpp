@@ -45,29 +45,36 @@ void InvariantChecker::install_hooks() {
   // Ingress: every byte the fabric accepts enters through a host NIC
   // (data, ACKs, probes, probe replies alike). A NIC drop still counts as
   // injected — the byte entered the accounting and left it as a drop.
-  for (int h = 0; h < topo_.num_hosts(); ++h) {
+  // Predecessor hooks move into checker-owned vectors (the inline-storage
+  // hook type cannot capture a same-sized predecessor); wrappers then
+  // dispatch through `this` + index.
+  const int num_hosts = topo_.num_hosts();
+  prev_nic_enqueue_.resize(static_cast<std::size_t>(num_hosts));
+  prev_nic_drop_.resize(static_cast<std::size_t>(num_hosts));
+  prev_host_rx_.resize(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
     net::Port& nic = topo_.host(h).nic();
-    auto prev_enq = std::move(nic.on_enqueue);
-    nic.on_enqueue = [this, prev = std::move(prev_enq)](const net::Packet& p) {
+    prev_nic_enqueue_[h] = std::move(nic.on_enqueue);
+    nic.on_enqueue = [this, h](const net::Packet& p) {
       ++injected_packets_;
       injected_bytes_ += p.size;
-      if (prev) prev(p);
+      if (prev_nic_enqueue_[h]) prev_nic_enqueue_[h](p);
     };
-    auto prev_drop = std::move(nic.on_drop);
-    nic.on_drop = [this, prev = std::move(prev_drop)](const net::Packet& p) {
+    prev_nic_drop_[h] = std::move(nic.on_drop);
+    nic.on_drop = [this, h](const net::Packet& p) {
       ++injected_packets_;
       injected_bytes_ += p.size;
       ++hook_dropped_packets_;
       hook_dropped_bytes_ += p.size;
-      if (prev) prev(p);
+      if (prev_nic_drop_[h]) prev_nic_drop_[h](p);
     };
     // Egress: delivery back to a host.
     net::Host& host = topo_.host(h);
-    auto prev_rx = std::move(host.on_receive);
-    host.on_receive = [this, prev = std::move(prev_rx)](net::Packet p, int in_port) {
+    prev_host_rx_[h] = std::move(host.on_receive);
+    host.on_receive = [this, h](net::Packet p, int in_port) {
       ++delivered_packets_;
       delivered_bytes_ += p.size;
-      if (prev) prev(std::move(p), in_port);
+      if (prev_host_rx_[h]) prev_host_rx_[h](std::move(p), in_port);
     };
   }
   // Drops inside the fabric (queue overflow and link-down; injected
@@ -75,11 +82,12 @@ void InvariantChecker::install_hooks() {
   auto hook_switch = [this](net::Switch& sw) {
     for (int p = 0; p < sw.num_ports(); ++p) {
       net::Port& port = sw.port(p);
-      auto prev = std::move(port.on_drop);
-      port.on_drop = [this, prev = std::move(prev)](const net::Packet& pkt) {
+      const std::size_t idx = prev_switch_drop_.size();
+      prev_switch_drop_.push_back(std::move(port.on_drop));
+      port.on_drop = [this, idx](const net::Packet& pkt) {
         ++hook_dropped_packets_;
         hook_dropped_bytes_ += pkt.size;
-        if (prev) prev(pkt);
+        if (prev_switch_drop_[idx]) prev_switch_drop_[idx](pkt);
       };
     }
   };

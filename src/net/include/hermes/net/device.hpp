@@ -1,15 +1,20 @@
 #pragma once
 
-#include "hermes/net/packet.hpp"
+#include "hermes/net/packet_arena.hpp"
 
 namespace hermes::net {
 
 /// Anything that can receive a packet from a link: switches and hosts.
+/// Packets travel the fabric as 32-bit arena handles; the receiver
+/// resolves (and, at end hosts, frees) the slot through the shared
+/// PacketArena it was constructed with.
 class Device {
  public:
   virtual ~Device() = default;
-  /// Deliver `p` arriving on local port `in_port`.
-  virtual void receive(Packet p, int in_port) = 0;
+  /// Deliver the packet named by `p` arriving on local port `in_port`.
+  /// Ownership of the arena slot transfers to the callee: a device that
+  /// consumes the packet (host delivery, drop) must free it.
+  virtual void receive(PacketHandle p, int in_port) = 0;
 };
 
 }  // namespace hermes::net

@@ -16,14 +16,32 @@ enum class PacketType : std::uint8_t {
   kProbeReply,  ///< Hermes active probe (reply)
 };
 
+namespace detail {
+/// Out-of-line hard failure for a route overflow: prints the attempted
+/// hop count and aborts. Lives in packet.cpp so the push() fast path
+/// inlines to a compare + store.
+[[noreturn]] void route_overflow(std::uint8_t len);
+}  // namespace detail
+
+/// Maximum hops a source route can name. Two-tier leaf-spine needs 3
+/// (src leaf, spine, dst leaf); 6 leaves room for a three-tier Clos
+/// (leaf, agg, spine, agg, leaf + host port).
+inline constexpr std::uint8_t kMaxRouteHops = 6;
+
 /// Source route: the egress port each *switch* along the path must use.
 /// Hosts have a single port, so they need no entry. Two-tier leaf-spine
 /// paths need at most 3 entries (src leaf, spine, dst leaf).
 struct Route {
-  std::array<std::uint8_t, 6> ports{};
+  std::array<std::uint8_t, kMaxRouteHops> ports{};
   std::uint8_t len = 0;
 
-  void push(std::uint8_t port) { ports[len++] = port; }
+  /// Append an egress hop. Overflow is a hard error in every build mode:
+  /// a route builder for a deeper topology (e.g. a k=16 fat-tree) must
+  /// fail loudly here, not scribble past the 6-slot array.
+  void push(std::uint8_t port) {
+    if (len >= kMaxRouteHops) [[unlikely]] detail::route_overflow(len);
+    ports[len++] = port;
+  }
 };
 
 /// A network packet, passed by value through the simulated fabric.

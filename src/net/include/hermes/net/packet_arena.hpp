@@ -1,0 +1,16 @@
+#pragma once
+
+#include "hermes/net/packet.hpp"
+#include "hermes/sim/slot_arena.hpp"
+
+namespace hermes::net {
+
+/// The per-scenario packet pool. Every packet entering the fabric takes
+/// one generation-counted slot at the sending host's NIC and keeps it
+/// until it is delivered to a host or dropped — switches and ports pass
+/// the 32-bit PacketHandle, never the ~112-byte struct. Owned by the
+/// Topology; every Device and Port holds a reference.
+using PacketArena = sim::SlotArena<Packet>;
+using PacketHandle = sim::ArenaHandle;
+
+}  // namespace hermes::net

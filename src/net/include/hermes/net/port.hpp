@@ -2,16 +2,18 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
+#include <utility>
 
 #include "hermes/net/buffer_pool.hpp"
 #include "hermes/net/device.hpp"
 #include "hermes/net/dre.hpp"
 #include "hermes/net/packet.hpp"
+#include "hermes/net/packet_arena.hpp"
+#include "hermes/net/packet_ring.hpp"
 #include "hermes/obs/flight_recorder.hpp"
 #include "hermes/obs/records.hpp"
+#include "hermes/sim/inline_function.hpp"
 #include "hermes/sim/rng.hpp"
 #include "hermes/sim/simulator.hpp"
 
@@ -56,22 +58,39 @@ struct PortStats {
 /// fixed-rate link with propagation delay. ECN CE marking happens at
 /// enqueue when the backlog exceeds the threshold (DCTCP step marking).
 /// The port also maintains a DRE so CONGA can read per-link utilization.
+///
+/// Queues are SoA rings of arena handles (PacketRing/WireRing): the port
+/// never copies a Packet, it moves 32-bit handles between index rings.
+/// Link delivery is batched — every wire entry carries its delivery
+/// deadline, and one drain event delivers every packet that is due.
 class Port {
  public:
-  Port(sim::Simulator& simulator, std::string name, PortConfig config,
+  /// Per-packet observer hook. Fixed inline storage, no heap fallback:
+  /// an observer capturing more than kHookCapacity bytes is a compile
+  /// error, never a per-install allocation (see sim::InlineCallable).
+  static constexpr std::size_t kHookCapacity = 48;
+  using Hook = sim::InlineCallable<kHookCapacity, void(const Packet&)>;
+
+  Port(sim::Simulator& simulator, PacketArena& arena, std::string name, PortConfig config,
        Device* peer, int peer_in_port);
 
   Port(const Port&) = delete;
   Port& operator=(const Port&) = delete;
 
-  /// Enqueue a packet for transmission (drops if the buffer is full).
-  void send(Packet p);
+  /// Enqueue the packet named by `h` for transmission (drops — and frees
+  /// the slot — if the buffer is full or the link is down).
+  void send(PacketHandle h);
+
+  /// Convenience for endpoints and tests: place `p` into the arena and
+  /// enqueue the resulting handle.
+  void send(Packet&& p) { send(arena_.alloc(std::move(p))); }
 
   [[nodiscard]] std::uint32_t backlog_bytes() const { return backlog_bytes_; }
   [[nodiscard]] std::size_t backlog_packets() const { return hi_.size() + lo_.size(); }
   [[nodiscard]] const PortStats& stats() const { return stats_; }
   [[nodiscard]] const PortConfig& config() const { return config_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] PacketArena& arena() { return arena_; }
 
   /// CONGA congestion metric of this link, quantized to 3 bits.
   [[nodiscard]] std::uint8_t conga_metric() const {
@@ -89,7 +108,10 @@ class Port {
   // --- runtime fault state (driven by the fault scheduler) --------------
   /// Change the link capacity mid-run (degrade/restore). Affects future
   /// serializations; packets already on the wire keep their old timing.
-  void set_rate_bps(double rate_bps) { config_.rate_bps = rate_bps; }
+  void set_rate_bps(double rate_bps) {
+    config_.rate_bps = rate_bps;
+    tx_cache_bytes_[0] = tx_cache_bytes_[1] = 0;  // memoized tx times are stale
+  }
   /// Cut / restore the link. While down, newly arriving packets are
   /// silently dropped (counted in stats: drops + link_down_drops); what is
   /// already queued or on the wire still drains — a cut fiber loses what
@@ -98,21 +120,17 @@ class Port {
   [[nodiscard]] bool link_up() const { return link_up_; }
 
   /// Bytes transmitted but still propagating (invariant accounting).
-  [[nodiscard]] std::uint64_t wire_bytes() const {
-    std::uint64_t b = 0;
-    for (const auto& p : wire_) b += p.size;
-    return b;
-  }
+  [[nodiscard]] std::uint64_t wire_bytes() const { return wire_.total_bytes(); }
   [[nodiscard]] std::size_t wire_packets() const { return wire_.size(); }
   /// True when admission goes through a shared BufferPool instead of the
   /// static per-port capacity (invariant checker picks the right bound).
   [[nodiscard]] bool pooled() const { return pool_ != nullptr; }
 
-  /// Optional per-packet observers (tests and TraceLog). Null by default;
-  /// the hot path pays one branch each.
-  std::function<void(const Packet&)> on_drop;
-  std::function<void(const Packet&)> on_enqueue;
-  std::function<void(const Packet&)> on_transmit;
+  /// Optional per-packet observers (tests, TraceLog, InvariantChecker).
+  /// Null by default; the hot path pays one branch each.
+  Hook on_drop;
+  Hook on_enqueue;
+  Hook on_transmit;
 
   /// Current simulation time (for observers that only hold the port).
   [[nodiscard]] sim::SimTime now() const { return simulator_.now(); }
@@ -137,22 +155,37 @@ class Port {
  private:
   void try_transmit();
   void finish_transmit();
-  void deliver_front();
+  void drain_wire();
   [[nodiscard]] bool should_mark();
+  [[nodiscard]] sim::SimTime tx_time_cached(std::uint32_t bytes);
   void record_packet(obs::PacketEvent ev, const Packet& p);
 
   sim::Simulator& simulator_;
+  PacketArena& arena_;
   std::string name_;
   PortConfig config_;
   Device* peer_;
   int peer_in_port_;
 
-  std::deque<Packet> hi_;
-  std::deque<Packet> lo_;
-  std::deque<Packet> wire_;  ///< transmitted, awaiting propagation delivery
+  PacketRing hi_;
+  PacketRing lo_;
+  WireRing wire_;  ///< transmitted, awaiting propagation delivery
   std::uint32_t backlog_bytes_ = 0;
   bool busy_ = false;
   bool link_up_ = true;
+  /// Delivery deadline of the most recently scheduled drain event. When a
+  /// new wire entry lands on exactly this deadline the already-scheduled
+  /// drain will deliver it too (equal-time batch), so no second event is
+  /// needed. Deadlines are nondecreasing, so equality is the only
+  /// coalescible case.
+  sim::SimTime drain_scheduled_for_ = sim::nsec(-1);
+
+  /// Two-entry memo of tx_time keyed by size: fabric traffic is almost
+  /// entirely {MSS data, 64B ACK}, so this removes the per-packet double
+  /// divide. Computes through the identical tx_time() arithmetic, so
+  /// timing stays bit-for-bit the same. Invalidated by set_rate_bps.
+  std::uint32_t tx_cache_bytes_[2] = {0, 0};
+  sim::SimTime tx_cache_time_[2] = {};
 
   Dre dre_;
   PortStats stats_;

@@ -31,12 +31,16 @@ struct SwitchFailureConfig {
 /// updates conga_ce with the max of the egress link's quantized DRE.
 class Switch : public Device {
  public:
-  Switch(sim::Simulator& simulator, int id, std::string name);
+  Switch(sim::Simulator& simulator, PacketArena& arena, int id, std::string name);
 
   /// Add an output port; returns its index.
   int add_port(PortConfig config, Device* peer, int peer_in_port);
 
-  void receive(Packet p, int in_port) override;
+  void receive(PacketHandle h, int in_port) override;
+
+  /// Convenience for tests and injectors that hold a by-value packet:
+  /// places it into the arena and forwards the handle.
+  void receive(Packet&& p, int in_port) { receive(arena_.alloc(std::move(p)), in_port); }
 
   [[nodiscard]] Port& port(int i) { return *ports_[i]; }
   [[nodiscard]] const Port& port(int i) const { return *ports_[i]; }
@@ -89,6 +93,7 @@ class Switch : public Device {
   }
 
   sim::Simulator& simulator_;
+  PacketArena& arena_;
   int id_;
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;

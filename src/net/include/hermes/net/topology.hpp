@@ -68,6 +68,9 @@ class Topology {
   Topology(sim::Simulator& simulator, TopologyConfig config);
 
   [[nodiscard]] const TopologyConfig& config() const { return config_; }
+  /// The per-scenario packet pool every device and port of this fabric
+  /// draws from (see packet_arena.hpp).
+  [[nodiscard]] PacketArena& packet_arena() { return arena_; }
   [[nodiscard]] int num_hosts() const { return config_.num_leaves * config_.hosts_per_leaf; }
   [[nodiscard]] Host& host(int i) { return *hosts_[i]; }
   [[nodiscard]] Switch& leaf(int i) { return *leaves_[i]; }
@@ -146,6 +149,9 @@ class Topology {
 
   sim::Simulator& simulator_;
   TopologyConfig config_;
+  /// Declared before the devices below: their ports keep references into
+  /// the arena, so it must outlive them (members destroy in reverse).
+  PacketArena arena_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> leaves_;
   std::vector<std::unique_ptr<Switch>> spines_;

@@ -1,0 +1,17 @@
+#include "hermes/net/packet.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hermes::net::detail {
+
+[[noreturn]] void route_overflow(std::uint8_t len) {
+  std::fprintf(stderr,
+               "fatal: Route::push past %u hops (len=%u) — the topology is deeper than "
+               "kMaxRouteHops; widen Route::ports\n",
+               static_cast<unsigned>(kMaxRouteHops), static_cast<unsigned>(len));
+  std::abort();
+}
+
+}  // namespace hermes::net::detail

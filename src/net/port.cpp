@@ -9,9 +9,10 @@
 
 namespace hermes::net {
 
-Port::Port(sim::Simulator& simulator, std::string name, PortConfig config,
+Port::Port(sim::Simulator& simulator, PacketArena& arena, std::string name, PortConfig config,
            Device* peer, int peer_in_port)
     : simulator_{simulator},
+      arena_{arena},
       name_{std::move(name)},
       config_{config},
       peer_{peer},
@@ -45,8 +46,29 @@ void Port::record_packet(obs::PacketEvent ev, const Packet& p) {
   rec_->append(r);
 }
 
-// HERMES_HOT: per-packet enqueue — admission, ECN mark, queue push.
-void Port::send(Packet p) {
+// HERMES_HOT: memoized serialization delay. The two cache lines cover the
+// entire steady-state traffic mix (MSS data + 64B ACKs/probes); a miss
+// recomputes through tx_time()'s exact double arithmetic, so a cached hop
+// is bit-identical to an uncached one.
+sim::SimTime Port::tx_time_cached(std::uint32_t bytes) {
+  if (bytes == tx_cache_bytes_[0]) return tx_cache_time_[0];
+  if (bytes == tx_cache_bytes_[1]) {
+    // Promote: keep the most recent size in way 0.
+    std::swap(tx_cache_bytes_[0], tx_cache_bytes_[1]);
+    std::swap(tx_cache_time_[0], tx_cache_time_[1]);
+    return tx_cache_time_[0];
+  }
+  tx_cache_bytes_[1] = tx_cache_bytes_[0];
+  tx_cache_time_[1] = tx_cache_time_[0];
+  tx_cache_bytes_[0] = bytes;
+  tx_cache_time_[0] = tx_time(bytes);
+  return tx_cache_time_[0];
+}
+
+// HERMES_HOT: per-packet enqueue — admission, ECN mark, queue push. The
+// packet stays in its arena slot; only the 32-bit handle moves.
+void Port::send(PacketHandle h) {
+  Packet& p = arena_[h];
   if (!link_up_) [[unlikely]] {
     // Fault-injected link cut: the packet vanishes silently, like a pulled
     // fiber — no NACK, nothing the load balancer can observe directly.
@@ -55,6 +77,7 @@ void Port::send(Packet p) {
     ++stats_.link_down_drops;
     if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kDrop, p);
     if (on_drop) on_drop(p);
+    arena_.free(h);
     return;
   }
   const bool admitted = pool_ ? pool_->try_admit(p.size, backlog_bytes_)
@@ -64,6 +87,7 @@ void Port::send(Packet p) {
     stats_.drop_bytes += p.size;
     if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kDrop, p);
     if (on_drop) on_drop(p);
+    arena_.free(h);
     return;
   }
   // Mark on enqueue when the instantaneous backlog warrants it (step or
@@ -79,8 +103,8 @@ void Port::send(Packet p) {
   // predicted-not-taken branch per hook.
   if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kEnqueue, p);
   if (on_enqueue) [[unlikely]] on_enqueue(p);
-  // hermeslint:reserve-audited(deque chunks recycle within the buffer-capped backlog — admission above bounds queue depth, and BENCH_core.json measures ~0.001 allocs/event end to end)
-  (p.priority > 0 ? hi_ : lo_).push_back(std::move(p));
+  // hermeslint:reserve-audited(ring doubles geometrically; steady state never grows)
+  (p.priority > 0 ? hi_ : lo_).push(h, p.size);
   try_transmit();
 }
 
@@ -89,45 +113,64 @@ void Port::try_transmit() {
   if (busy_) return;
   if (hi_.empty() && lo_.empty()) return;
   busy_ = true;
-  auto& q = hi_.empty() ? lo_ : hi_;
-  Packet p = std::move(q.front());
-  q.pop_front();
-  backlog_bytes_ -= p.size;
-  if (pool_) pool_->release(p.size);
-  dre_.add(p.size, simulator_.now());
+  PacketRing& q = hi_.empty() ? lo_ : hi_;
+  const PacketHandle h = q.front_handle();
+  const std::uint32_t bytes = q.front_bytes();
+  q.pop();
+  backlog_bytes_ -= bytes;
+  if (pool_) pool_->release(bytes);
+  dre_.add(bytes, simulator_.now());
   ++stats_.tx_packets;
-  stats_.tx_bytes += p.size;
-  if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kTransmit, p);
-  if (on_transmit) [[unlikely]] on_transmit(p);
-  const auto tx = tx_time(p.size);
-  // The packet rides "the wire" until tx + propagation; deliveries are
-  // FIFO, so a this-capturing event pops the next one. These two hop
+  stats_.tx_bytes += bytes;
+  if (rec_) [[unlikely]] record_packet(obs::PacketEvent::kTransmit, arena_[h]);
+  if (on_transmit) [[unlikely]] on_transmit(arena_[h]);
+  const auto tx = tx_time_cached(bytes);
+  // The packet rides "the wire" until tx + propagation. Its delivery
+  // deadline is recorded with the wire entry; the serialization-done
+  // continuation below schedules the batched drain. These hop
   // continuations are THE event hot path: assert they stay within the
   // inline callback storage so no per-packet heap allocation can sneak
   // back in.
-  // hermeslint:reserve-audited(wire_ holds at most the packets serialized within one propagation delay — a handful — so the deque stays inside its first chunks)
-  wire_.push_back(std::move(p));
+  // hermeslint:reserve-audited(wire ring doubles geometrically; bounded by in-flight packets)
+  wire_.push(h, bytes, simulator_.now() + tx + config_.prop_delay);
   const auto finish = [this] { finish_transmit(); };
   static_assert(sizeof(finish) <= sim::EventQueue::kInlineCallbackBytes,
                 "packet-hop lambda must fit the inline event callback");
   simulator_.after(tx, finish);
 }
 
-// HERMES_HOT: serialization-done continuation (one per packet).
+// HERMES_HOT: serialization-done continuation (one per packet). Schedules
+// the wire drain for this packet's delivery deadline — unless a drain is
+// already scheduled for exactly that time, in which case the pending
+// drain will deliver this packet too (equal-deadline batch; deadlines
+// are nondecreasing, so equality is the only coalescible case).
 void Port::finish_transmit() {
   busy_ = false;
-  const auto deliver = [this] { deliver_front(); };
-  static_assert(sizeof(deliver) <= sim::EventQueue::kInlineCallbackBytes,
-                "packet-hop lambda must fit the inline event callback");
-  simulator_.after(config_.prop_delay, deliver);
+  const sim::SimTime due = simulator_.now() + config_.prop_delay;
+  if (due != drain_scheduled_for_) {
+    drain_scheduled_for_ = due;
+    const auto drain = [this] { drain_wire(); };
+    static_assert(sizeof(drain) <= sim::EventQueue::kInlineCallbackBytes,
+                  "packet-hop lambda must fit the inline event callback");
+    simulator_.after(config_.prop_delay, drain);
+  }
   try_transmit();
 }
 
-// HERMES_HOT: propagation-done continuation (one per packet).
-void Port::deliver_front() {
-  Packet p = std::move(wire_.front());
-  wire_.pop_front();
-  peer_->receive(std::move(p), peer_in_port_);
+// HERMES_HOT: propagation-done continuation — delivers every wire packet
+// whose deadline has arrived (usually one; more when serialization was
+// fast enough that several packets share a delivery time).
+void Port::drain_wire() {
+  const sim::SimTime now = simulator_.now();
+  while (!wire_.empty() && wire_.front_due() <= now) {
+    const PacketHandle h = wire_.front_handle();
+    wire_.pop();
+    peer_->receive(h, peer_in_port_);
+  }
+  // Every remaining entry's (strictly future) deadline has its own drain
+  // pending; once the wire empties, drop the coalescing watermark so a
+  // deadline landing exactly on a fired drain's time reschedules.
+  if (wire_.empty()) drain_scheduled_for_ = sim::nsec(-1);
 }
 
 }  // namespace hermes::net

@@ -54,11 +54,12 @@ Topology::Topology(sim::Simulator& simulator, TopologyConfig config)
   const int M = config_.links_per_pair;
   if (L < 1 || S < 1 || H < 1 || M < 1) throw std::invalid_argument("bad topology shape");
 
-  for (int i = 0; i < L * H; ++i) hosts_.push_back(std::make_unique<Host>(simulator_, i));
+  for (int i = 0; i < L * H; ++i) hosts_.push_back(std::make_unique<Host>(simulator_, arena_, i));
   for (int i = 0; i < L; ++i)
-    leaves_.push_back(std::make_unique<Switch>(simulator_, i, "leaf" + std::to_string(i)));
+    leaves_.push_back(std::make_unique<Switch>(simulator_, arena_, i, "leaf" + std::to_string(i)));
   for (int i = 0; i < S; ++i)
-    spines_.push_back(std::make_unique<Switch>(simulator_, i, "spine" + std::to_string(i)));
+    spines_.push_back(
+        std::make_unique<Switch>(simulator_, arena_, i, "spine" + std::to_string(i)));
 
   // Host <-> leaf links. Leaf ports [0, H) go down to hosts.
   for (int l = 0; l < L; ++l) {

@@ -65,7 +65,10 @@ class Histogram {
 /// determinism contract extends to telemetry output.
 class MetricsRegistry {
  public:
+  // hermeslint:allow(hotpath.hot-file-member) pull-model readers, invoked once per
+  // snapshot/report — registration and reads are both off the per-packet path
   using CounterFn = std::function<std::uint64_t()>;
+  // hermeslint:allow(hotpath.hot-file-member) same pull-model contract as CounterFn
   using GaugeFn = std::function<double()>;
 
   /// Register a pull counter. Re-registering a name replaces the reader.

@@ -15,27 +15,45 @@ EventQueue::EventQueue()
 // HERMES_HOT: one call per scheduled event; the bucket push must stay O(1)
 // and allocation-free in steady state.
 void EventQueue::place(Event&& ev) {
+  // Record where a live timer event lands so cancel_slot can remove it.
+  // Guarded on generation: a stale record being cascaded must not clobber
+  // the location of the slot's current (re-armed) incarnation.
+  const auto note = [this](const Event& e, std::uint8_t where, std::uint32_t bucket,
+                           std::size_t pos) {
+    if (e.slot != kNoSlot && slots_[e.slot].gen == e.gen) {
+      slots_[e.slot].where = where;
+      slots_[e.slot].bucket = bucket;
+      slots_[e.slot].pos = static_cast<std::uint32_t>(pos);
+    }
+  };
   const std::int64_t i0 = ev.time.ns() >> kL0Shift;
   if (i0 <= cur_) {
     // The wheel already drained past this bucket (the event is due now or
     // nearly now): merge into the sorted due run.
     const auto it = std::upper_bound(due_.begin() + static_cast<std::ptrdiff_t>(due_head_),
                                      due_.end(), ev, Earlier{});
+    note(ev, TimerSlot::kInDue, 0, 0);
     // hermeslint:reserve-audited(due_ keeps its high-water capacity across laps; the sorted insert shifts records but reallocates only until the run's working-set peak)
     due_.insert(it, std::move(ev));
     return;
   }
   if (i0 - cur_ <= kNumBuckets) {
-    // hermeslint:reserve-audited(bucket vectors are cleared, never shrunk — capacity recycles lap over lap, so steady state never reallocates; measured 0.001 allocs/event in BENCH_core.json)
-    l0_[static_cast<std::size_t>(i0 & kBucketMask)].push_back(std::move(ev));
+    auto& bucket = l0_[static_cast<std::size_t>(i0 & kBucketMask)];
+    if (bucket.capacity() == 0) bucket.reserve(kBucketReserve);
+    note(ev, TimerSlot::kInL0, static_cast<std::uint32_t>(i0 & kBucketMask), bucket.size());
+    // hermeslint:reserve-audited(first touch reserves kBucketReserve; beyond that buckets keep their high-water capacity lap over lap)
+    bucket.push_back(std::move(ev));
     ++l0_count_;
     return;
   }
   const std::int64_t i1 = ev.time.ns() >> kL1Shift;
   const std::int64_t cur1 = cur_ >> kLevelBits;
   if (i1 - cur1 < kNumBuckets) {
+    auto& bucket = l1_[static_cast<std::size_t>(i1 & kBucketMask)];
+    if (bucket.capacity() == 0) bucket.reserve(kBucketReserve);
+    note(ev, TimerSlot::kInL1, static_cast<std::uint32_t>(i1 & kBucketMask), bucket.size());
     // hermeslint:reserve-audited(same recycling argument as level 0; level-1 buckets keep their high-water capacity)
-    l1_[static_cast<std::size_t>(i1 & kBucketMask)].push_back(std::move(ev));
+    bucket.push_back(std::move(ev));
     ++l1_count_;
     return;
   }
@@ -44,6 +62,7 @@ void EventQueue::place(Event&& ev) {
   // insert is an O(1) append at the back.
   const auto it = std::upper_bound(overflow_.begin() + static_cast<std::ptrdiff_t>(overflow_head_),
                                    overflow_.end(), ev, Earlier{});
+  note(ev, TimerSlot::kInOverflow, 0, 0);
   // hermeslint:reserve-audited(overflow is the >268ms cold tail — flow-arrival preloading, not the per-packet path; appends are O(1) at the back)
   overflow_.insert(it, std::move(ev));
 }
@@ -76,6 +95,27 @@ EventQueue::Handle EventQueue::schedule_at(SimTime t, Callback cb) {
 // HERMES_HOT: every ACK that re-arms an RTO cancels the previous timer.
 void EventQueue::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
   if (slot >= slots_.size() || slots_[slot].gen != gen) return;  // already fired/cancelled
+  // Physically remove wheel-bucket records (swap-remove: bucket order is
+  // irrelevant, every bucket is (time, seq)-sorted when it drains). The
+  // due run and overflow list are sorted, so their records are bumped
+  // lazily instead and reclaimed when the cursor reaches them.
+  const TimerSlot& loc = slots_[slot];
+  if (loc.where == TimerSlot::kInL0 || loc.where == TimerSlot::kInL1) {
+    auto& bucket = loc.where == TimerSlot::kInL0 ? l0_[loc.bucket] : l1_[loc.bucket];
+    assert(loc.pos < bucket.size() && bucket[loc.pos].slot == slot &&
+           bucket[loc.pos].gen == gen && "timer-slot location out of sync");
+    Event& victim = bucket[loc.pos];
+    if (&victim != &bucket.back()) {
+      victim = std::move(bucket.back());
+      // The swapped-in record changed position; keep its slot's hint live.
+      if (victim.slot != kNoSlot && slots_[victim.slot].gen == victim.gen) {
+        slots_[victim.slot].pos = loc.pos;
+      }
+    }
+    bucket.pop_back();
+    (loc.where == TimerSlot::kInL0 ? l0_count_ : l1_count_) -= 1;
+  }
+  slots_[slot].where = TimerSlot::kNowhere;
   ++slots_[slot].gen;  // invalidates the stored event record and all handle copies
   // hermeslint:reserve-audited(free-list capacity is bounded by slots_.size(), which the pool already paid for)
   free_slots_.push_back(slot);
@@ -100,17 +140,25 @@ void EventQueue::drain_to_due(std::vector<Event>& bucket) {
     due_head_ = 0;
   }
   const auto base = static_cast<std::ptrdiff_t>(due_.size());
-  // hermeslint:reserve-audited(due_ retains high-water capacity; the clear and head reset above reuse it without shrinking)
-  for (auto& ev : bucket) due_.push_back(std::move(ev));
+  for (auto& ev : bucket) {
+    if (ev.slot != kNoSlot && slots_[ev.slot].gen == ev.gen) {
+      slots_[ev.slot].where = TimerSlot::kInDue;
+    }
+    // hermeslint:reserve-audited(due_ retains high-water capacity; the clear and head reset above reuse it without shrinking)
+    due_.push_back(std::move(ev));
+  }
   bucket.clear();  // keeps capacity: the bucket is reused next lap
   // A bucket spans 256ns of simulated time, so it can hold events at
   // different instants; restore the (time, seq) total order. When the
   // due run already had entries (same-instant inserts made during the
-  // cascade), sort the whole run rather than merging.
+  // cascade), sort the whole run rather than merging. Events are pushed
+  // in seq order and near-future schedules are issued in rising time
+  // order, so the run is usually already sorted — check before paying
+  // for a sort that would move 112-byte records around.
   auto first = due_.begin() + (due_head_ < static_cast<std::size_t>(base)
                                    ? static_cast<std::ptrdiff_t>(due_head_)
                                    : base);
-  std::sort(first, due_.end(), Earlier{});
+  if (!std::is_sorted(first, due_.end(), Earlier{})) std::sort(first, due_.end(), Earlier{});
 }
 
 // HERMES_HOT: wheel cursor walk between non-empty buckets.
@@ -186,14 +234,26 @@ void EventQueue::purge_cancelled() {
   due_.erase(std::remove_if(due_.begin() + static_cast<std::ptrdiff_t>(due_head_), due_.end(),
                             stale),
              due_.end());
+  // Compacting a bucket shifts the surviving records, so every live
+  // timer's position hint must be refreshed afterwards.
+  const auto refresh = [this](std::vector<Event>& bucket) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const Event& ev = bucket[i];
+      if (ev.slot != kNoSlot && slots_[ev.slot].gen == ev.gen) {
+        slots_[ev.slot].pos = static_cast<std::uint32_t>(i);
+      }
+    }
+  };
   for (auto& bucket : l0_) {
     const auto n = bucket.size();
     bucket.erase(std::remove_if(bucket.begin(), bucket.end(), stale), bucket.end());
+    if (bucket.size() != n) refresh(bucket);
     l0_count_ -= n - bucket.size();
   }
   for (auto& bucket : l1_) {
     const auto n = bucket.size();
     bucket.erase(std::remove_if(bucket.begin(), bucket.end(), stale), bucket.end());
+    if (bucket.size() != n) refresh(bucket);
     l1_count_ -= n - bucket.size();
   }
   overflow_.erase(

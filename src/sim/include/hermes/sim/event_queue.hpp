@@ -43,11 +43,14 @@ namespace hermes::sim {
 /// stable tiebreak — for a fixed seed, simulation output is byte-equal.
 class EventQueue {
  public:
-  /// Inline storage for event callbacks. Sized so the largest capture in
-  /// the tree — a ~112-byte net::Packet plus a `this` pointer (the
-  /// reorder-buffer deferred ACK), or a faults::FaultEvent — stays
-  /// inline; oversized captures fail to compile (see InlineFunction).
-  static constexpr std::size_t kInlineCallbackBytes = 128;
+  /// Inline storage for event callbacks — a global budget: the Event
+  /// record (and with it every byte the wheel stores, moves and sorts)
+  /// is sized by it, so captures are kept to a few pointers/ints; bulky
+  /// state (e.g. reorder-held packets) lives in the owning object with
+  /// the event capturing only `this`. Oversized captures fail to
+  /// compile (see InlineFunction). Shrinking 128 -> 64 cut the Event
+  /// record from 176 to 112 bytes (two cache lines).
+  static constexpr std::size_t kInlineCallbackBytes = 64;
   using Callback = InlineFunction<kInlineCallbackBytes>;
 
   EventQueue() ;
@@ -119,6 +122,11 @@ class EventQueue {
   static constexpr std::int64_t kNumBuckets = std::int64_t{1} << kLevelBits;
   static constexpr std::int64_t kBucketMask = kNumBuckets - 1;
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  /// First-touch bucket capacity. With cancelled timers removed eagerly,
+  /// live bucket occupancy is small; reserving on first use keeps a long
+  /// run from paying a fresh geometric-growth chain for every 262us-span
+  /// level-1 bucket its sim-time range touches.
+  static constexpr std::size_t kBucketReserve = 8;
 
   struct Event {
     SimTime time;
@@ -129,9 +137,17 @@ class EventQueue {
   };
   /// One pooled record per in-flight cancellable timer. The generation
   /// counter invalidates stale Handles and stale queue entries when the
-  /// slot is recycled through the free-list.
+  /// slot is recycled through the free-list. The location fields track
+  /// which wheel structure currently stores the slot's live event, so
+  /// cancel() can physically remove the record: per-packet RTO re-arms
+  /// would otherwise pile thousands of stale 112-byte records into far
+  /// level-1 buckets, to be allocated, cascaded and sorted for nothing.
   struct TimerSlot {
+    enum Where : std::uint8_t { kNowhere = 0, kInL0, kInL1, kInDue, kInOverflow };
     std::uint32_t gen = 0;
+    std::uint32_t bucket = 0;  ///< bucket index when where is kInL0/kInL1
+    std::uint32_t pos = 0;     ///< element index within that bucket (O(1) cancel)
+    std::uint8_t where = kNowhere;
   };
   /// The total event order: nondecreasing time, FIFO (sequence) within a
   /// time. seq values are unique, so this is a strict total order and

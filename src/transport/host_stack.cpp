@@ -24,28 +24,42 @@ TcpSender& HostStack::start_flow(const FlowSpec& spec, TcpSender::CompletionFn o
   return ref;
 }
 
+// HERMES_HOT: per-packet demux — every delivered packet funnels through
+// handle(), so lookups here ride the one-entry endpoint caches.
 TcpSender* HostStack::sender(std::uint64_t flow_id) {
+  if (last_sender_ != nullptr && last_sender_id_ == flow_id) return last_sender_;
   auto it = senders_.find(flow_id);
-  return it != senders_.end() ? it->second.get() : nullptr;
+  if (it == senders_.end()) return nullptr;
+  last_sender_ = it->second.get();
+  last_sender_id_ = flow_id;
+  return last_sender_;
 }
 
 TcpReceiver* HostStack::receiver(std::uint64_t flow_id) {
+  if (last_receiver_ != nullptr && last_receiver_id_ == flow_id) return last_receiver_;
   auto it = receivers_.find(flow_id);
-  return it != receivers_.end() ? it->second.get() : nullptr;
+  if (it == receivers_.end()) return nullptr;
+  last_receiver_ = it->second.get();
+  last_receiver_id_ = flow_id;
+  return last_receiver_;
 }
 
 void HostStack::handle(net::Packet p) {
   switch (p.type) {
     case net::PacketType::kData: {
-      auto it = receivers_.find(p.flow_id);
-      if (it == receivers_.end()) {
-        it = receivers_
-                 .emplace(p.flow_id, std::make_unique<TcpReceiver>(
-                                         simulator_, topo_, lb_, config_, p.flow_id, p.src,
-                                         p.dst, [this](net::Packet q) { send_raw(std::move(q)); }))
-                 .first;
+      TcpReceiver* rx = receiver(p.flow_id);
+      if (rx == nullptr) {
+        auto it = receivers_
+                      .emplace(p.flow_id,
+                               std::make_unique<TcpReceiver>(
+                                   simulator_, topo_, lb_, config_, p.flow_id, p.src, p.dst,
+                                   [this](net::Packet q) { send_raw(std::move(q)); }))
+                      .first;
+        rx = it->second.get();
+        last_receiver_ = rx;
+        last_receiver_id_ = p.flow_id;
       }
-      it->second->on_data(p);
+      rx->on_data(p);
       break;
     }
     case net::PacketType::kAck: {

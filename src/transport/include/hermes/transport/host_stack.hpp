@@ -56,6 +56,14 @@ class HostStack {
 
   std::unordered_map<std::uint64_t, std::unique_ptr<TcpSender>> senders_;
   std::unordered_map<std::uint64_t, std::unique_ptr<TcpReceiver>> receivers_;
+  // One-entry endpoint caches: packets arrive in flow bursts, so the
+  // last-hit sender/receiver answers most per-packet lookups without a
+  // hash probe. Safe because endpoints are never erased mid-run (the maps
+  // hold node-stable unique_ptrs for the scenario's lifetime).
+  TcpSender* last_sender_ = nullptr;
+  std::uint64_t last_sender_id_ = ~0ull;
+  TcpReceiver* last_receiver_ = nullptr;
+  std::uint64_t last_receiver_id_ = ~0ull;
 };
 
 }  // namespace hermes::transport

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "hermes/lb/load_balancer.hpp"
 #include "hermes/net/packet.hpp"
@@ -36,6 +38,8 @@ class TcpReceiver {
   void send_ack(bool ece, sim::SimTime ts_echo, int path_id, const net::Packet& data);
   /// Delayed-ACK path for in-order data (DCTCP CE-change flush rule).
   void schedule_or_flush(const net::Packet& p);
+  void fire_held_ack();
+  void on_delack_check();
   void flush_delayed();
 
   sim::Simulator& simulator_;
@@ -57,7 +61,21 @@ class TcpReceiver {
   std::uint32_t pending_acks_ = 0;
   bool ce_state_ = false;
   net::Packet last_data_;  ///< template for the coalesced ACK
+  /// FIFO of data packets whose (duplicate) ACKs are held by the
+  /// reorder mask. The hold is a constant, so the pending events fire
+  /// in push order and the event capture needs only `this` — a full
+  /// ~112-byte Packet capture would dominate the event-record size for
+  /// every event in the simulation (kInlineCallbackBytes is a global
+  /// budget). Grows to the reorder window's high-water mark, then
+  /// recycles.
+  std::vector<net::Packet> held_;
+  std::size_t held_head_ = 0;
   sim::EventQueue::Handle delack_timer_;
+  /// Logical delayed-ACK expiry (lazy timer, same scheme as the
+  /// sender's RTO): flushing a batch no longer cancels the physical
+  /// timer; the fired event compares against this deadline and either
+  /// chases it, flushes, or dies when no batch is open.
+  sim::SimTime delack_deadline_{};
 };
 
 }  // namespace hermes::transport

@@ -51,6 +51,7 @@ class TcpSender {
   void send_window();
   void transmit_segment(std::uint64_t seq, std::uint32_t len);
   void arm_rto();
+  void on_rto_check();
   void on_rto();
   void enter_fast_recovery();
   void maybe_update_dctcp(std::uint64_t newly_acked, bool ece);
@@ -87,6 +88,14 @@ class TcpSender {
   // RTO state.
   sim::SimTime rto_{};
   sim::EventQueue::Handle rto_timer_;
+  /// Logical RTO expiry. Every ACK re-arms the RTO, but cancelling and
+  /// rescheduling a ~10ms-out timer per packet is the single hottest
+  /// timer pattern in the simulator; instead the physical timer event is
+  /// left in place and merely compares against this deadline when it
+  /// fires, rescheduling itself forward if ACKs pushed the deadline out
+  /// (a lazy timer). The timeout still takes effect at exactly
+  /// last-arm + rto, so behaviour is unchanged.
+  sim::SimTime rto_deadline_{};
   std::uint32_t backoffs_ = 0;
 
   bool started_ = false;

@@ -63,10 +63,20 @@ void TcpReceiver::on_data(const net::Packet& p) {
   // Reordering mask: hold the ACK briefly. If the gap fills in the
   // meantime the deferred ACK is cumulative and no dupACK ever appears;
   // a genuine loss still surfaces as dupACKs after the hold expires.
-  net::Packet cause = p;
-  simulator_.after(config_.reorder_hold, [this, cause] {
-    send_ack(cause.ce, cause.ts_sent, cause.path_id, cause);
-  });
+  // hermeslint:reserve-audited(held_ grows to the reorder window high-water mark once, then recycles)
+  held_.push_back(p);
+  simulator_.after(config_.reorder_hold, [this] { fire_held_ack(); });
+}
+
+// Deferred duplicate ACK from the reorder mask. The hold delay is
+// constant, so events fire in exactly the order packets were held.
+void TcpReceiver::fire_held_ack() {
+  net::Packet cause = held_[held_head_++];
+  if (held_head_ == held_.size()) {
+    held_.clear();
+    held_head_ = 0;
+  }
+  send_ack(cause.ce, cause.ts_sent, cause.path_id, cause);
 }
 
 void TcpReceiver::schedule_or_flush(const net::Packet& p) {
@@ -78,15 +88,30 @@ void TcpReceiver::schedule_or_flush(const net::Packet& p) {
     flush_delayed();
     return;
   }
+  if (pending_acks_ == 1) delack_deadline_ = simulator_.now() + config_.delack_timeout;
   if (!delack_timer_.pending()) {
-    delack_timer_ = simulator_.timer_after(config_.delack_timeout, [this] { flush_delayed(); });
+    delack_timer_ = simulator_.timer_after(config_.delack_timeout, [this] { on_delack_check(); });
   }
+}
+
+// Physical delack event: chase the logical deadline (the batch that
+// armed this event may long since have flushed and a newer batch
+// opened), flush when genuinely due, die quietly when no batch is open.
+void TcpReceiver::on_delack_check() {
+  if (pending_acks_ == 0) return;
+  const sim::SimTime now = simulator_.now();
+  if (now < delack_deadline_) {
+    delack_timer_ = simulator_.timer_after(delack_deadline_ - now, [this] { on_delack_check(); });
+    return;
+  }
+  flush_delayed();
 }
 
 void TcpReceiver::flush_delayed() {
   if (pending_acks_ == 0) return;
   pending_acks_ = 0;
-  delack_timer_.cancel();
+  // The physical delack event (if any) is left pending: on_delack_check
+  // sees pending_acks_ == 0 and dies without side effects.
   send_ack(ce_state_, last_data_.ts_sent, last_data_.path_id, last_data_);
 }
 

@@ -194,10 +194,26 @@ void TcpSender::maybe_update_dctcp(std::uint64_t newly_acked, bool ece) {
   window_marked_ = 0;
 }
 
+// HERMES_HOT: runs per ACK — must not touch the event queue in steady
+// state (the physical check event below is shared across re-arms).
 void TcpSender::arm_rto() {
-  rto_timer_.cancel();
   if (snd_una_ >= spec_.size) return;
-  rto_timer_ = simulator_.timer_after(rto_, [this] { on_rto(); });
+  rto_deadline_ = simulator_.now() + rto_;
+  if (!rto_timer_.pending()) {
+    rto_timer_ = simulator_.timer_after(rto_, [this] { on_rto_check(); });
+  }
+}
+
+// Fires at some past deadline; if ACKs have since pushed the logical
+// deadline forward, chase it instead of timing out.
+void TcpSender::on_rto_check() {
+  if (finished_) return;
+  const sim::SimTime now = simulator_.now();
+  if (now < rto_deadline_) {
+    rto_timer_ = simulator_.timer_after(rto_deadline_ - now, [this] { on_rto_check(); });
+    return;
+  }
+  on_rto();
 }
 
 void TcpSender::on_rto() {

@@ -177,16 +177,22 @@ TEST(TraceLogTest, DropsAreRecorded) {
   net::PortConfig pc;
   pc.rate_bps = 1e9;
   pc.queue_capacity_bytes = 3'000;
+  net::PacketArena arena;
   class NullDev : public net::Device {
-    void receive(net::Packet, int) override {}
-  } dev;
-  net::Port port{simulator, "p", pc, &dev, 0};
+   public:
+    explicit NullDev(net::PacketArena& a) : arena_{a} {}
+    void receive(net::PacketHandle h, int) override { arena_.free(h); }
+
+   private:
+    net::PacketArena& arena_;
+  } dev{arena};
+  net::Port port{simulator, arena, "p", pc, &dev, 0};
   net::TraceLog log;
   log.attach(port);
   for (int i = 0; i < 10; ++i) {
     net::Packet p;
     p.size = 1500;
-    port.send(p);
+    port.send(std::move(p));
   }
   simulator.run();
   EXPECT_GT(log.count(net::TraceEvent::kDrop), 0u);
@@ -196,17 +202,23 @@ TEST(TraceLogTest, DropsAreRecorded) {
 TEST(TraceLogTest, TextRenderingContainsEvents) {
   sim::Simulator simulator{1};
   net::PortConfig pc;
+  net::PacketArena arena;
   class NullDev : public net::Device {
-    void receive(net::Packet, int) override {}
-  } dev;
-  net::Port port{simulator, "leaf9:p3", pc, &dev, 0};
+   public:
+    explicit NullDev(net::PacketArena& a) : arena_{a} {}
+    void receive(net::PacketHandle h, int) override { arena_.free(h); }
+
+   private:
+    net::PacketArena& arena_;
+  } dev{arena};
+  net::Port port{simulator, arena, "leaf9:p3", pc, &dev, 0};
   net::TraceLog log;
   log.attach(port);
   net::Packet p;
   p.id = 42;
   p.flow_id = 9;
   p.size = 1500;
-  port.send(p);
+  port.send(std::move(p));
   simulator.run();
   const auto text = log.to_text();
   EXPECT_NE(text.find("ENQ"), std::string::npos);

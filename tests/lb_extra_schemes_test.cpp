@@ -124,7 +124,7 @@ TEST(Drill, PicksEmptierUplink) {
     net::Packet p;
     p.size = 1500;
     p.route.push(0);
-    busy.send(p);
+    busy.send(std::move(p));
   }
   auto f = make_flow(topo, 1, 0, 2);
   for (int i = 0; i < 20; ++i) {

@@ -16,11 +16,15 @@ namespace {
 using sim::msec;
 using sim::usec;
 
-/// Test peer that records delivered packets and arrival times.
+/// Test peer that records delivered packets and arrival times. Devices
+/// receive arena handles and own the slot: the sink moves the packet out
+/// and frees it, like a host delivery would.
 class SinkDevice : public Device {
  public:
-  void receive(Packet p, int in_port) override {
-    packets.push_back(std::move(p));
+  explicit SinkDevice(PacketArena& arena) : arena_{arena} {}
+  void receive(PacketHandle h, int in_port) override {
+    packets.push_back(std::move(arena_[h]));
+    arena_.free(h);
     in_ports.push_back(in_port);
     times.push_back(now ? *now : sim::SimTime{});
   }
@@ -28,6 +32,9 @@ class SinkDevice : public Device {
   std::vector<int> in_ports;
   std::vector<sim::SimTime> times;
   const sim::SimTime* now = nullptr;
+
+ private:
+  PacketArena& arena_;
 };
 
 Packet make_packet(std::uint32_t size, bool ect = false, std::int8_t prio = 0) {
@@ -53,11 +60,12 @@ class PortTest : public ::testing::Test {
   }
 
   sim::Simulator simulator{1};
-  SinkDevice sink;
+  PacketArena arena;
+  SinkDevice sink{arena};
 };
 
 TEST_F(PortTest, DeliversPacketToPeerPort) {
-  Port port{simulator, "p", config(), &sink, 7};
+  Port port{simulator, arena, "p", config(), &sink, 7};
   port.send(make_packet(1500));
   simulator.run();
   ASSERT_EQ(sink.packets.size(), 1u);
@@ -65,7 +73,7 @@ TEST_F(PortTest, DeliversPacketToPeerPort) {
 }
 
 TEST_F(PortTest, SerializationPlusPropagationTiming) {
-  Port port{simulator, "p", config(1e9), &sink, 0};
+  Port port{simulator, arena, "p", config(1e9), &sink, 0};
   sink.now = nullptr;
   bool delivered = false;
   sim::SimTime arrival{};
@@ -80,7 +88,7 @@ TEST_F(PortTest, SerializationPlusPropagationTiming) {
 }
 
 TEST_F(PortTest, BackToBackPacketsPipeline) {
-  Port port{simulator, "p", config(1e9), &sink, 0};
+  Port port{simulator, arena, "p", config(1e9), &sink, 0};
   for (int i = 0; i < 3; ++i) port.send(make_packet(1500));
   simulator.run();
   // Three serializations (36us) + one propagation (2us) for the last.
@@ -89,7 +97,7 @@ TEST_F(PortTest, BackToBackPacketsPipeline) {
 }
 
 TEST_F(PortTest, DropsWhenBufferFull) {
-  Port port{simulator, "p", config(), &sink, 0};
+  Port port{simulator, arena, "p", config(), &sink, 0};
   // Capacity 10KB: first 6 x 1500 = 9000 fit, 7th overflows while the
   // link is still serializing (first tx already removed from backlog).
   int drops_seen = 0;
@@ -102,7 +110,7 @@ TEST_F(PortTest, DropsWhenBufferFull) {
 }
 
 TEST_F(PortTest, EcnMarksAboveThreshold) {
-  Port port{simulator, "p", config(), &sink, 0};
+  Port port{simulator, arena, "p", config(), &sink, 0};
   // Threshold 4000B. First packets enqueue below it; once the backlog
   // crosses it, ECT packets get CE.
   for (int i = 0; i < 6; ++i) port.send(make_packet(1500, /*ect=*/true));
@@ -115,7 +123,7 @@ TEST_F(PortTest, EcnMarksAboveThreshold) {
 }
 
 TEST_F(PortTest, NoEcnMarkWithoutEct) {
-  Port port{simulator, "p", config(), &sink, 0};
+  Port port{simulator, arena, "p", config(), &sink, 0};
   for (int i = 0; i < 6; ++i) port.send(make_packet(1500, /*ect=*/false));
   simulator.run();
   for (const auto& p : sink.packets) EXPECT_FALSE(p.ce);
@@ -125,14 +133,14 @@ TEST_F(PortTest, NoEcnMarkWithoutEct) {
 TEST_F(PortTest, EcnDisabledNeverMarks) {
   auto c = config();
   c.ecn_enabled = false;
-  Port port{simulator, "p", c, &sink, 0};
+  Port port{simulator, arena, "p", c, &sink, 0};
   for (int i = 0; i < 6; ++i) port.send(make_packet(1500, true));
   simulator.run();
   for (const auto& p : sink.packets) EXPECT_FALSE(p.ce);
 }
 
 TEST_F(PortTest, HighPriorityOvertakesLowPriority) {
-  Port port{simulator, "p", config(1e9), &sink, 0};
+  Port port{simulator, arena, "p", config(1e9), &sink, 0};
   port.send(make_packet(1500, false, 0));  // starts transmitting
   port.send(make_packet(1500, false, 0));  // queued low
   port.send(make_packet(64, false, 1));    // queued high, must overtake
@@ -142,7 +150,7 @@ TEST_F(PortTest, HighPriorityOvertakesLowPriority) {
 }
 
 TEST_F(PortTest, StatsCountBytesAndPackets) {
-  Port port{simulator, "p", config(), &sink, 0};
+  Port port{simulator, arena, "p", config(), &sink, 0};
   port.send(make_packet(1000));
   port.send(make_packet(500));
   simulator.run();
@@ -151,7 +159,7 @@ TEST_F(PortTest, StatsCountBytesAndPackets) {
 }
 
 TEST_F(PortTest, BacklogTracksQueueOnly) {
-  Port port{simulator, "p", config(1e9), &sink, 0};
+  Port port{simulator, arena, "p", config(1e9), &sink, 0};
   port.send(make_packet(1500));  // in transmission, not in backlog
   port.send(make_packet(1500));
   port.send(make_packet(1500));
@@ -161,7 +169,7 @@ TEST_F(PortTest, BacklogTracksQueueOnly) {
 }
 
 TEST_F(PortTest, TxTimeMatchesRate) {
-  Port port{simulator, "p", config(10e9), &sink, 0};
+  Port port{simulator, arena, "p", config(10e9), &sink, 0};
   EXPECT_EQ(port.tx_time(1500), sim::SimTime::from_seconds(1500 * 8.0 / 10e9));
 }
 

@@ -16,12 +16,17 @@ using sim::usec;
 
 class Sink : public Device {
  public:
-  void receive(Packet p, int in_port) override {
-    packets.push_back(std::move(p));
+  explicit Sink(PacketArena& arena) : arena_{arena} {}
+  void receive(PacketHandle h, int in_port) override {
+    packets.push_back(std::move(arena_[h]));
+    arena_.free(h);
     ports.push_back(in_port);
   }
   std::vector<Packet> packets;
   std::vector<int> ports;
+
+ private:
+  PacketArena& arena_;
 };
 
 PortConfig fast_port() {
@@ -46,8 +51,9 @@ Packet routed_packet(std::initializer_list<std::uint8_t> hops) {
 
 TEST(SwitchTest, ForwardsAlongSourceRoute) {
   sim::Simulator simulator{1};
-  Switch sw{simulator, 0, "sw"};
-  Sink a, b;
+  PacketArena arena;
+  Switch sw{simulator, arena, 0, "sw"};
+  Sink a{arena}, b{arena};
   sw.add_port(fast_port(), &a, 0);
   sw.add_port(fast_port(), &b, 0);
 
@@ -60,8 +66,9 @@ TEST(SwitchTest, ForwardsAlongSourceRoute) {
 
 TEST(SwitchTest, AdvancesHopIndex) {
   sim::Simulator simulator{1};
-  Switch sw{simulator, 0, "sw"};
-  Sink out;
+  PacketArena arena;
+  Switch sw{simulator, arena, 0, "sw"};
+  Sink out{arena};
   sw.add_port(fast_port(), &out, 3);
   Packet p = routed_packet({0, 5});
   sw.receive(std::move(p), 1);
@@ -72,8 +79,9 @@ TEST(SwitchTest, AdvancesHopIndex) {
 
 TEST(SwitchTest, BlackholeDropsMatchingPacketsOnly) {
   sim::Simulator simulator{1};
-  Switch sw{simulator, 0, "sw"};
-  Sink out;
+  PacketArena arena;
+  Switch sw{simulator, arena, 0, "sw"};
+  Sink out{arena};
   sw.add_port(fast_port(), &out, 0);
   sw.set_failure({.blackhole = [](const Packet& p) { return p.src == 42; },
                   .random_drop_rate = 0.0});
@@ -92,8 +100,9 @@ TEST(SwitchTest, BlackholeDropsMatchingPacketsOnly) {
 
 TEST(SwitchTest, BlackholeIsDeterministic) {
   sim::Simulator simulator{1};
-  Switch sw{simulator, 0, "sw"};
-  Sink out;
+  PacketArena arena;
+  Switch sw{simulator, arena, 0, "sw"};
+  Sink out{arena};
   sw.add_port(fast_port(), &out, 0);
   sw.set_failure({.blackhole = [](const Packet& p) { return p.src == 42; },
                   .random_drop_rate = 0.0});
@@ -109,8 +118,9 @@ TEST(SwitchTest, BlackholeIsDeterministic) {
 
 TEST(SwitchTest, RandomDropMatchesConfiguredRate) {
   sim::Simulator simulator{1};
-  Switch sw{simulator, 0, "sw"};
-  Sink out;
+  PacketArena arena;
+  Switch sw{simulator, arena, 0, "sw"};
+  Sink out{arena};
   sw.add_port(fast_port(), &out, 0);
   sw.set_failure({.blackhole = nullptr, .random_drop_rate = 0.10});
   const int n = 20'000;
@@ -123,8 +133,9 @@ TEST(SwitchTest, RandomDropMatchesConfiguredRate) {
 TEST(SwitchTest, RandomDropDeterministicPerSeed) {
   auto run = [](std::uint64_t seed) {
     sim::Simulator simulator{seed};
-    Switch sw{simulator, 0, "sw"};
-    Sink out;
+    PacketArena arena;
+    Switch sw{simulator, arena, 0, "sw"};
+    Sink out{arena};
     sw.add_port(fast_port(), &out, 0);
     sw.set_failure({.blackhole = nullptr, .random_drop_rate = 0.5});
     for (int i = 0; i < 100; ++i) sw.receive(routed_packet({0}), 0);
@@ -136,8 +147,9 @@ TEST(SwitchTest, RandomDropDeterministicPerSeed) {
 
 TEST(SwitchTest, CongaStampsOnlyFabricPorts) {
   sim::Simulator simulator{1};
-  Switch sw{simulator, 0, "sw"};
-  Sink host_side, fabric_side;
+  PacketArena arena;
+  Switch sw{simulator, arena, 0, "sw"};
+  Sink host_side{arena}, fabric_side{arena};
   const int host_port = sw.add_port(fast_port(), &host_side, 0);
   const int fabric_port = sw.add_port(fast_port(), &fabric_side, 0);
   sw.port(fabric_port).is_fabric = true;
@@ -159,8 +171,9 @@ TEST(SwitchTest, CongaStampsOnlyFabricPorts) {
 
 TEST(SwitchTest, CongaStampingKeepsMaxAlongPath) {
   sim::Simulator simulator{1};
-  Switch sw{simulator, 0, "sw"};
-  Sink out;
+  PacketArena arena;
+  Switch sw{simulator, arena, 0, "sw"};
+  Sink out{arena};
   const int p = sw.add_port(fast_port(), &out, 0);
   sw.port(p).is_fabric = true;
   Packet pre = routed_packet({0});
@@ -172,8 +185,9 @@ TEST(SwitchTest, CongaStampingKeepsMaxAlongPath) {
 
 TEST(SwitchTest, StampingDisabledLeavesMetricUntouched) {
   sim::Simulator simulator{1};
-  Switch sw{simulator, 0, "sw"};
-  Sink out;
+  PacketArena arena;
+  Switch sw{simulator, arena, 0, "sw"};
+  Sink out{arena};
   const int p = sw.add_port(fast_port(), &out, 0);
   sw.port(p).is_fabric = true;
   sw.conga_stamping = false;

@@ -142,9 +142,11 @@ TEST(TimeWheel, EmptyIsConstAndCountsCancellations) {
     hs.push_back(q.schedule_at(usec(10 + i), [] {}));
   for (int i = 0; i < 4; ++i) hs[static_cast<std::size_t>(i)].cancel();
   EXPECT_FALSE(q.empty());
-  // Cancelled records are still physically stored until purged.
-  EXPECT_EQ(q.stored_events(), 10u);
-  q.purge_cancelled();
+  // Wheel-bucket records are removed eagerly on cancel (the slot table
+  // tracks each live timer's bucket position); these events sit in
+  // level-0 buckets, so the storage shrinks immediately.
+  EXPECT_EQ(q.stored_events(), 6u);
+  q.purge_cancelled();  // no-op here: nothing cancelled remains stored
   EXPECT_EQ(q.stored_events(), 6u);
   q.run();
   EXPECT_TRUE(q.empty());

@@ -19,8 +19,15 @@ using sim::usec;
 
 class Sink : public net::Device {
  public:
-  void receive(net::Packet p, int) override { packets.push_back(std::move(p)); }
+  explicit Sink(net::PacketArena& arena) : arena_{arena} {}
+  void receive(net::PacketHandle h, int) override {
+    packets.push_back(std::move(arena_[h]));
+    arena_.free(h);
+  }
   std::vector<net::Packet> packets;
+
+ private:
+  net::PacketArena& arena_;
 };
 
 net::Packet ect_packet(std::uint32_t size = 1500) {
@@ -37,8 +44,9 @@ TEST(RedMarking, NoMarksBelowMinThreshold) {
   c.ecn_threshold_bytes = 10'000;
   c.ecn_mode = net::EcnMode::kRed;
   c.queue_capacity_bytes = 100'000;
-  Sink sink;
-  net::Port port{simulator, "red", c, &sink, 0};
+  net::PacketArena arena;
+  Sink sink{arena};
+  net::Port port{simulator, arena, "red", c, &sink, 0};
   for (int i = 0; i < 6; ++i) port.send(ect_packet());  // max backlog < 10KB
   simulator.run();
   EXPECT_EQ(port.stats().ecn_marks, 0u);
@@ -52,8 +60,9 @@ TEST(RedMarking, AlwaysMarksAboveMaxThreshold) {
   c.red_max_bytes = 9'000;
   c.ecn_mode = net::EcnMode::kRed;
   c.queue_capacity_bytes = 1'000'000;
-  Sink sink;
-  net::Port port{simulator, "red", c, &sink, 0};
+  net::PacketArena arena;
+  Sink sink{arena};
+  net::Port port{simulator, arena, "red", c, &sink, 0};
   for (int i = 0; i < 100; ++i) port.send(ect_packet());
   simulator.run();
   // Once the backlog passed 9KB every further enqueue marks; packets
@@ -71,8 +80,9 @@ TEST(RedMarking, RampIsProbabilistic) {
   c.red_max_bytes = 200'000;
   c.ecn_mode = net::EcnMode::kRed;
   c.queue_capacity_bytes = 300'000;
-  Sink sink;
-  net::Port port{simulator, "red", c, &sink, 0};
+  net::PacketArena arena;
+  Sink sink{arena};
+  net::Port port{simulator, arena, "red", c, &sink, 0};
   for (int i = 0; i < 100; ++i) port.send(ect_packet());
   simulator.run();
   int marked = 0;
@@ -90,8 +100,9 @@ TEST(RedMarking, StepModeUnchangedByRedFields) {
   c.ecn_mode = net::EcnMode::kStep;
   c.red_pmax = 0.0;  // would suppress RED marks; step must ignore it
   c.queue_capacity_bytes = 1'000'000;
-  Sink sink;
-  net::Port port{simulator, "step", c, &sink, 0};
+  net::PacketArena arena;
+  Sink sink{arena};
+  net::Port port{simulator, arena, "step", c, &sink, 0};
   for (int i = 0; i < 10; ++i) port.send(ect_packet());
   simulator.run();
   EXPECT_GT(port.stats().ecn_marks, 0u);

@@ -1,0 +1,24 @@
+// Fixture: hotpath.hot-file-member triggers. Never compiled. The file
+// carries a HERMES_HOT region, so even cold-code declarations of the
+// heap-backed queue/hook types are flagged.
+#include <deque>
+#include <functional>
+
+struct Packet {
+  int size = 0;
+};
+
+struct Port {
+  using Hook = std::function<void(const Packet&)>;  // alias member
+
+  // HERMES_HOT
+  void enqueue(Packet p) { backlog_ += p.size; }
+
+  std::deque<Packet> queue_;                 // member declaration
+  std::function<void(const Packet&)> hook_;  // member declaration
+  int backlog_ = 0;
+};
+
+// Uses that are NOT declarations must stay quiet:
+void install(std::function<void(const Packet&)> cb);  // parameter
+void call_site(Port& p) { install(p.hook_); }

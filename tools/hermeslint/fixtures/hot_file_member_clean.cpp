@@ -1,0 +1,14 @@
+// Fixture: hotpath.hot-file-member clean twin. Never compiled. A file
+// WITHOUT any HERMES_HOT region may declare deque/function members
+// freely, and a hot file may keep an annotated cold-path member.
+#include <deque>
+#include <functional>
+
+struct Packet {
+  int size = 0;
+};
+
+struct ColdCollector {
+  std::deque<Packet> history_;
+  std::function<void()> on_flush_;
+};

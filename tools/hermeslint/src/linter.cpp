@@ -37,6 +37,7 @@ constexpr std::string_view kDetClock = "determinism.clock";
 constexpr std::string_view kDetUnorderedIter = "determinism.unordered-iter";
 constexpr std::string_view kHotAlloc = "hotpath.alloc";
 constexpr std::string_view kHotGrowth = "hotpath.container-growth";
+constexpr std::string_view kHotFileMember = "hotpath.hot-file-member";
 constexpr std::string_view kHdrPragmaOnce = "header.pragma-once";
 constexpr std::string_view kHdrUsingNamespace = "header.using-namespace";
 constexpr std::string_view kHdrDirectInclude = "header.direct-include";
@@ -58,6 +59,10 @@ const std::vector<RuleInfo> kCatalogue = {
     {kHotGrowth,
      "container growth in a HERMES_HOT region needs a hermeslint:reserve-audited(<why>) "
      "annotation"},
+    {kHotFileMember,
+     "files containing HERMES_HOT regions must not declare std::deque or std::function "
+     "members; use PacketRing / SoA rings and sim::InlineCallable (or annotate cold-path "
+     "state with hermeslint:allow and a reason)"},
     {kHdrPragmaOnce, "headers must open with #pragma once"},
     {kHdrUsingNamespace, "headers must not contain using-namespace directives"},
     {kHdrDirectInclude,
@@ -219,6 +224,34 @@ Qualifier qualifier_before(std::string_view code, std::size_t pos) {
 bool followed_by_call(std::string_view code, std::size_t pos) {
   while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos])) != 0) ++pos;
   return pos < code.size() && code[pos] == '(';
+}
+
+/// True if `code[pos..]` (the text right after a template type name) reads
+/// like a member/alias *declaration*: a balanced `<...>` argument list,
+/// optional `*`/`&`/`const`, then either an identifier terminated by `;`,
+/// `=`, or `{`, or directly `;` (the target of a using-alias). Function
+/// parameters (`std::function<...> cb)`) and plain uses fall through.
+bool member_style_decl_after(std::string_view code, std::size_t pos) {
+  auto skip_ws = [&](std::size_t p) {
+    while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p])) != 0) ++p;
+    return p;
+  };
+  std::size_t p = skip_ws(pos);
+  if (p >= code.size() || code[p] != '<') return false;
+  int depth = 0;
+  for (; p < code.size(); ++p) {
+    if (code[p] == '<') ++depth;
+    if (code[p] == '>' && --depth == 0) break;
+  }
+  if (depth != 0) return false;  // template args continue on the next line
+  p = skip_ws(p + 1);
+  while (p < code.size() && (code[p] == '*' || code[p] == '&')) p = skip_ws(p + 1);
+  if (p < code.size() && code[p] == ';') return true;  // using X = std::function<...>;
+  const std::size_t ident_begin = p;
+  while (p < code.size() && is_ident_char(code[p])) ++p;
+  if (p == ident_begin) return false;
+  p = skip_ws(p);
+  return p < code.size() && (code[p] == ';' || code[p] == '=' || code[p] == '{');
 }
 
 // ---------------------------------------------------------------------------
@@ -505,6 +538,7 @@ void Linter::lint_file(const File& f, LintResult& out) const {
   for (Finding& m : meta) out.findings.push_back(std::move(m));
   const std::vector<char> hot = tag_mask(lines, "HERMES_HOT", /*file_scope=*/true);
   const std::vector<char> pod = tag_mask(lines, "HERMES_POD_RECORD", /*file_scope=*/false);
+  const bool hot_file = std::any_of(hot.begin(), hot.end(), [](char h) { return h != 0; });
 
   // Routes a raw finding through the suppression table.
   auto emit = [&](std::string_view rule, std::size_t line0, std::string message) {
@@ -655,6 +689,29 @@ void Linter::lint_file(const File& f, LintResult& out) const {
           emit(kHotGrowth, i,
                "." + std::string(fn) + "() may grow its container on the hot path; "
                "annotate the audited capacity with hermeslint:reserve-audited(<why>)");
+        }
+      }
+    }
+
+    // ---- hotpath.hot-file-member ----
+    // A file with HERMES_HOT regions keeps its queues and hooks on the
+    // fast path even when the declaration itself sits in cold code; flag
+    // member/alias declarations of the two heap-backed types the arena
+    // refactor banished. std::function on an already-hot line is
+    // kHotAlloc's finding, not ours.
+    if (hot_file) {
+      for (const std::string_view type :
+           {std::string_view{"deque"}, std::string_view{"function"}}) {
+        if (type == "function" && hot[i] != 0) continue;
+        for (std::size_t pos = find_identifier(code, type); pos != std::string_view::npos;
+             pos = find_identifier(code, type, pos + 1)) {
+          if (qualifier_before(code, pos) != Qualifier::kStd) continue;
+          if (!member_style_decl_after(code, pos + type.size())) continue;
+          emit(kHotFileMember, i,
+               "std::" + std::string(type) + " member in a HERMES_HOT file; use " +
+                   (type == "deque" ? "a PacketRing/SoA ring (contiguous, index-based)"
+                                    : "sim::InlineCallable (fixed inline storage)") +
+                   " or annotate genuinely cold state with hermeslint:allow(<rule>) <why>");
         }
       }
     }

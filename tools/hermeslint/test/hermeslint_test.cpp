@@ -146,6 +146,39 @@ TEST(HermeslintRules, HotGrowthNeedsAudit) {
   EXPECT_TRUE(audited.findings.empty()) << to_json(audited);
 }
 
+TEST(HermeslintRules, HotFileMemberCatchesDequeAndFunctionDeclarations) {
+  const LintResult r = lint_fixture("hot_file_member_bad.cpp");
+  // Hook alias + queue_ member + hook_ member; the parameter and the
+  // call-site use must not fire.
+  EXPECT_EQ(count_rule(r, "hotpath.hot-file-member"), 3) << to_json(r);
+  const bool param_flagged =
+      std::any_of(r.findings.begin(), r.findings.end(), [](const auto& f) {
+        return f.snippet.find("install") != std::string::npos;
+      });
+  EXPECT_FALSE(param_flagged) << to_json(r);
+}
+
+TEST(HermeslintRules, HotFileMemberQuietWithoutHotRegion) {
+  const LintResult r = lint_fixture("hot_file_member_clean.cpp");
+  EXPECT_EQ(count_rule(r, "hotpath.hot-file-member"), 0) << to_json(r);
+}
+
+TEST(HermeslintRules, HotFileMemberSuppressibleWithReason) {
+  Linter linter;
+  linter.add_file("hot_with_cold_member.cpp",
+                  "#include <functional>\n"
+                  "struct S {\n"
+                  "  // HERMES_HOT\n"
+                  "  void fast() {}\n"
+                  "  // hermeslint:allow(hotpath.hot-file-member) pull-model stats, read "
+                  "once per report\n"
+                  "  std::function<int()> reader_;\n"
+                  "};\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "hotpath.hot-file-member"), 0) << to_json(r);
+  EXPECT_EQ(r.suppressed.size(), 1u) << to_json(r);
+}
+
 TEST(HermeslintRules, FileScopeHotTagCoversWholeFile) {
   Linter linter;
   linter.add_file("hot_file.cpp",
