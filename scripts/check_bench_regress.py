@@ -26,6 +26,18 @@ or the normalized ratio is enough; a genuine algorithmic regression —
 the failure mode this guard exists for, which costs integer factors,
 not percents — fails both.
 
+When the current JSON comes from bench_ext_fattree_scale (its "bench"
+field says so), the fat-tree gates apply instead:
+
+  * every fattree_* entry must report deterministic == 1 (the T=1 and
+    T=N runs hashed byte-identical FCT output) and 0 unfinished flows,
+  * events_per_sec_t1 must not drop more than 50% below the committed
+    baseline entry of the same key (skipped for keys the baseline does
+    not carry, e.g. smoke-only configurations), and
+  * speedup >= 1.5 for the k=16 entries — asserted only when the
+    *current* run had >= 2 cores; on single-core machines the claim is
+    untestable and EXPERIMENTS.md documents the fallback methodology.
+
 Usage: check_bench_regress.py <baseline.json> <current.json>
 """
 
@@ -34,6 +46,7 @@ import sys
 
 ALLOC_BUDGET = 0.01
 MAX_REGRESSION = 0.50
+MIN_SPEEDUP = 1.5
 
 
 def metric(doc, bench, name):
@@ -41,6 +54,53 @@ def metric(doc, bench, name):
         return float(doc["metrics"][bench][name])
     except (KeyError, TypeError, ValueError):
         return None
+
+
+def check_fattree(baseline, current, failures):
+    cores = int(current.get("cores") or 0)
+    entries = {
+        k: v for k, v in (current.get("metrics") or {}).items() if k.startswith("fattree")
+    }
+    if not entries:
+        failures.append("current run reports no fattree_* metrics")
+        return
+    for key, m in sorted(entries.items()):
+        if int(m.get("deterministic", 0)) != 1:
+            failures.append(
+                f"{key}: T=1 and T=N produced different FCT output — the "
+                "sharded determinism contract is broken"
+            )
+        if int(m.get("unfinished_flows", 0)) != 0:
+            failures.append(
+                f"{key}: {m['unfinished_flows']} flows stranded at the time "
+                "cap in a fault-free run — scenario no longer completes"
+            )
+        base_eps = metric(baseline, key, "events_per_sec_t1")
+        cur_eps = metric(current, key, "events_per_sec_t1")
+        if base_eps and cur_eps:
+            if cur_eps / base_eps < 1.0 - MAX_REGRESSION:
+                failures.append(
+                    f"{key}: serial throughput {cur_eps:,.0f} ev/s is "
+                    f"{100 * (1 - cur_eps / base_eps):.1f}% below the baseline "
+                    f"{base_eps:,.0f} ev/s (max allowed {100 * MAX_REGRESSION:.0f}%)"
+                )
+            else:
+                print(
+                    f"perf guard: {key} {cur_eps:,.0f} ev/s vs baseline "
+                    f"{base_eps:,.0f} ({100 * (cur_eps / base_eps - 1):+.1f}%)"
+                )
+        if key.startswith("fattree_k16") and cores >= 2:
+            speedup = float(m.get("speedup") or 0)
+            if speedup < MIN_SPEEDUP:
+                failures.append(
+                    f"{key}: multi-thread speedup {speedup:.2f}x below the "
+                    f"{MIN_SPEEDUP}x floor on a {cores}-core machine"
+                )
+    if cores < 2:
+        print(
+            "perf guard: speedup gate skipped (single-core machine; "
+            "see EXPERIMENTS.md fat-tree scaling methodology)"
+        )
 
 
 def main(argv):
@@ -53,6 +113,14 @@ def main(argv):
         current = json.load(f)
 
     failures = []
+
+    if current.get("bench") == "bench_ext_fattree_scale":
+        check_fattree(baseline, current, failures)
+        if failures:
+            for msg in failures:
+                print(f"perf guard FAIL: {msg}", file=sys.stderr)
+            return 1
+        return 0
 
     allocs = metric(current, "packet_pipeline_steady", "allocs_per_packet")
     if allocs is None:

@@ -11,12 +11,17 @@
 #      <= 0.01 and packet_pipeline_10mb throughput within 50% of the
 #      committed BENCH_core.json baseline (full numbers live there; see
 #      EXPERIMENTS.md).
-#   4. Fuzz smoke: 25 seeds through hermesfuzz. The nightly workflow
+#   4. Sharded smoke: bench_ext_fattree_scale --smoke runs a k=4
+#      fat-tree under the sharded executor at 1 and 2 threads, asserts
+#      byte-identical FCT output internally, and the regression guard
+#      re-checks determinism/completion from the emitted JSON.
+#   5. Fuzz smoke: 25 seeds through hermesfuzz. The nightly workflow
 #      (fuzz.yml) runs thousands; this is the per-change canary that the
 #      fuzz loop itself still works and the first seeds stay clean.
-#   5. TSan build (HERMES_SANITIZE=thread) running the parallel-runner
-#      and determinism tests — the threaded sweep path must be race-free.
-#      Skip with HERMES_TIER1_TSAN=0 (e.g. on machines without TSan).
+#   6. TSan build (HERMES_SANITIZE=thread) running the parallel-runner,
+#      determinism, and sharded-executor tests — every threaded path
+#      must be race-free. Skip with HERMES_TIER1_TSAN=0 (e.g. on
+#      machines without TSan).
 #
 # Usage: scripts/tier1.sh  (from the repo root; build dirs are reused)
 set -euo pipefail
@@ -24,33 +29,38 @@ cd "$(dirname "$0")/.."
 
 JOBS="${HERMES_TIER1_JOBS:-$(nproc)}"
 
-echo "== [1/5] build (-Werror) + ctest (RelWithDebInfo) =="
+echo "== [1/6] build (-Werror) + ctest (RelWithDebInfo) =="
 cmake -B build -S . -DHERMES_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/5] hermeslint =="
+echo "== [2/6] hermeslint =="
 ./build/tools/hermeslint/hermeslint --root=. src bench tests examples
 
-echo "== [3/5] Release build + bench_core_micro --smoke =="
+echo "== [3/6] Release build + bench_core_micro --smoke =="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "$JOBS" --target bench_core_micro
 (cd build-rel && ./bench/bench_core_micro --smoke --json=BENCH_core_smoke.json)
 python3 scripts/check_bench_regress.py BENCH_core.json build-rel/BENCH_core_smoke.json
 
-echo "== [4/5] fuzz smoke (25 seeds) =="
+echo "== [4/6] sharded smoke (k=4 fat-tree, 1 vs 2 threads) =="
+cmake --build build-rel -j "$JOBS" --target bench_ext_fattree_scale
+(cd build-rel && ./bench/bench_ext_fattree_scale --smoke --json=BENCH_fattree_smoke.json)
+python3 scripts/check_bench_regress.py BENCH_core.json build-rel/BENCH_fattree_smoke.json
+
+echo "== [5/6] fuzz smoke (25 seeds) =="
 FUZZ_OUT="$(mktemp -d)"
 ./build/tools/hermesfuzz/hermesfuzz --seeds=25 --out="$FUZZ_OUT"
 rm -rf "$FUZZ_OUT"
 
 if [[ "${HERMES_TIER1_TSAN:-1}" == "1" ]]; then
-  echo "== [5/5] TSan build + parallel sweep tests =="
+  echo "== [6/6] TSan build + parallel/sharded tests =="
   cmake -B build-tsan -S . -DHERMES_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target hermes_tests
   ./build-tsan/tests/hermes_tests \
-    --gtest_filter='ParallelRunner.*:Determinism.ParallelSweepIsByteIdenticalToSerial'
+    --gtest_filter='ParallelRunner.*:Determinism.ParallelSweepIsByteIdenticalToSerial:Sharded.ThreadCountIsInvisible_Ecmp:Sharded.FaultTrainIsThreadCountInvisible'
 else
-  echo "== [5/5] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
+  echo "== [6/6] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
 fi
 
 echo "tier-1: OK"

@@ -14,12 +14,12 @@
 
 namespace hermes::core {
 
-HermesLb::HermesLb(sim::Simulator& simulator, net::Topology& topo, HermesConfig config)
+HermesLb::HermesLb(sim::Simulator& simulator, net::Fabric& topo, HermesConfig config)
     : simulator_{simulator},
       topo_{topo},
       config_{config},
       rng_{simulator.rng_stream(0x4E14E5)},
-      num_leaves_{topo.config().num_leaves} {
+      num_leaves_{topo.num_leaves()} {
   pairs_.resize(static_cast<std::size_t>(num_leaves_) * num_leaves_);
 }
 
@@ -190,7 +190,7 @@ int HermesLb::select_path(lb::FlowCtx& flow, const net::Packet& pkt) {
     // Line 14: cautious gates — only flows that sent enough and are not
     // already fast benefit from rerouting; and a flow that just moved is
     // given time to observe its new path before moving again.
-    const double rate_limit = config_.rate_threshold_frac * topo_.config().host_rate_bps;
+    const double rate_limit = config_.rate_threshold_frac * topo_.host_rate_bps();
     const bool cooled_down = !flow.has_rerouted || now - flow.last_reroute >= config_.reroute_min_gap;
     if (cooled_down && flow.bytes_sent > config_.sent_threshold_bytes &&
         flow.rate_bps(now) < rate_limit) {
@@ -282,7 +282,10 @@ void HermesLb::enable_probing(std::function<void(int, net::Packet)> raw_send) {
 void HermesLb::probe_tick() {
   // Power-of-two-choices probing (§3.1.3): per rack pair and interval,
   // probe two random paths plus the previously observed best path.
-  for (int a = 0; a < num_leaves_; ++a) {
+  const bool filtered = !probe_sources_.empty();
+  const int n_src = filtered ? static_cast<int>(probe_sources_.size()) : num_leaves_;
+  for (int ai = 0; ai < n_src; ++ai) {
+    const int a = filtered ? probe_sources_[ai] : ai;
     for (int b = 0; b < num_leaves_; ++b) {
       if (a == b) continue;
       const auto& paths = topo_.paths_between_leaves(a, b);

@@ -2,7 +2,7 @@
 
 #include <cstdint>
 
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/time.hpp"
 
 namespace hermes::core {
@@ -56,7 +56,7 @@ struct HermesConfig {
   bool use_ecn = true;             ///< false: sense with RTT only (plain TCP)
 
   /// Recommended settings for a concrete fabric.
-  [[nodiscard]] static HermesConfig defaults_for(const net::Topology& topo) {
+  [[nodiscard]] static HermesConfig defaults_for(const net::Fabric& topo) {
     HermesConfig c;
     const auto base = topo.base_rtt();
     const auto hop = topo.one_hop_delay();

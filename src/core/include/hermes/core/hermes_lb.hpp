@@ -4,12 +4,13 @@
 #include <functional>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "hermes/core/config.hpp"
 #include "hermes/core/path_state.hpp"
 #include "hermes/lb/load_balancer.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/obs/flight_recorder.hpp"
 #include "hermes/obs/metrics.hpp"
 #include "hermes/obs/records.hpp"
@@ -50,7 +51,7 @@ struct DecisionStats {
 /// path via the retransmission-rate epoch detector in PathState.
 class HermesLb final : public lb::LoadBalancer {
  public:
-  HermesLb(sim::Simulator& simulator, net::Topology& topo, HermesConfig config);
+  HermesLb(sim::Simulator& simulator, net::Fabric& topo, HermesConfig config);
 
   // --- lb::LoadBalancer -------------------------------------------------
   int select_path(lb::FlowCtx& flow, const net::Packet& pkt) override;
@@ -66,6 +67,11 @@ class HermesLb final : public lb::LoadBalancer {
   void enable_probing(std::function<void(int src_host, net::Packet)> raw_send);
   /// Deliver a probe reply arriving at a rack agent.
   void on_probe_reply(const net::Packet& reply);
+  /// Restrict probing to these source leaves (default: all). The sharded
+  /// harness runs one HermesLb per shard and filters each instance to the
+  /// leaves whose rack agents that shard owns, so probes originate — and
+  /// their replies return — strictly shard-locally.
+  void set_probe_sources(std::vector<int> leaves) { probe_sources_ = std::move(leaves); }
   [[nodiscard]] const ProbeStats& probe_stats() const { return probe_stats_; }
 
   // --- observability ----------------------------------------------------
@@ -145,13 +151,14 @@ class HermesLb final : public lb::LoadBalancer {
                        sim::SimTime now);
 
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   HermesConfig config_;
   sim::Rng rng_;
   int num_leaves_;
   std::vector<PairState> pairs_;
 
   std::function<void(int, net::Packet)> raw_send_;
+  std::vector<int> probe_sources_;  ///< empty = probe from every leaf
   ProbeStats probe_stats_;
   std::uint64_t next_probe_id_ = 1;
 

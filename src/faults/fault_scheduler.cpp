@@ -5,18 +5,20 @@
 #include <string>
 #include <utility>
 
+#include "hermes/net/port.hpp"
+#include "hermes/net/switch.hpp"
 #include "hermes/obs/metrics.hpp"
 #include "hermes/obs/records.hpp"
 
 namespace hermes::faults {
 
 namespace {
-net::Switch& target_switch(net::Topology& topo, const FaultEvent& e) {
+net::Switch& target_switch(net::Fabric& topo, const FaultEvent& e) {
   return e.tier == SwitchTier::kLeaf ? topo.leaf(e.switch_id) : topo.spine(e.switch_id);
 }
 }  // namespace
 
-FaultScheduler::FaultScheduler(sim::Simulator& simulator, net::Topology& topo)
+FaultScheduler::FaultScheduler(sim::Simulator& simulator, net::Fabric& topo)
     : simulator_{simulator}, topo_{topo} {}
 
 void FaultScheduler::install(const FaultPlan& plan) {

@@ -9,7 +9,7 @@
 #include <deque>
 
 #include "hermes/faults/fault_plan.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/obs/flight_recorder.hpp"
 #include "hermes/obs/metrics.hpp"
 #include "hermes/sim/simulator.hpp"
@@ -32,7 +32,7 @@ struct AppliedFault {
 /// right after every fault boundary).
 class FaultScheduler {
  public:
-  FaultScheduler(sim::Simulator& simulator, net::Topology& topo);
+  FaultScheduler(sim::Simulator& simulator, net::Fabric& topo);
 
   /// Schedule every event of `plan`. Events timed in the past (relative
   /// to the simulator clock) fire on the next queue pop. May be called
@@ -65,7 +65,7 @@ class FaultScheduler {
   void record_fault(const FaultEvent& e, bool onset);
 
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   obs::FlightRecorder* rec_ = nullptr;  ///< null when observability is off
   std::uint32_t name_id_ = 0;
   std::vector<AppliedFault> log_;

@@ -20,7 +20,9 @@ namespace hermes::harness {
 /// byte-identical to a serial one (covered by determinism_test).
 ///
 /// Thread count: explicit argument, else the HERMES_THREADS environment
-/// variable, else std::thread::hardware_concurrency().
+/// variable, else std::thread::hardware_concurrency(). The policy is
+/// sim::resolve_threads — shared with the shard-level ShardedExecutor so
+/// sweep-level and shard-level parallelism compose predictably.
 class ParallelRunner {
  public:
   /// `threads == 0` means "pick a default" (see class comment).
@@ -28,8 +30,10 @@ class ParallelRunner {
 
   [[nodiscard]] unsigned threads() const { return threads_; }
 
-  /// HERMES_THREADS env var if set and positive, else hardware
-  /// concurrency (at least 1).
+  /// HERMES_THREADS env var if set to a positive integer, else hardware
+  /// concurrency (at least 1). HERMES_THREADS=0, empty, or non-numeric
+  /// all mean "unset" and take the hardware fallback (they are NOT a
+  /// request for zero threads) — see sim::resolve_threads.
   [[nodiscard]] static unsigned default_threads();
 
   /// Invoke fn(i) for every i in [0, n), spread across the pool.

@@ -3,23 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
-#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "hermes/sim/sharded_executor.hpp"
+
 namespace hermes::harness {
 
-unsigned ParallelRunner::default_threads() {
-  if (const char* env = std::getenv("HERMES_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
+unsigned ParallelRunner::default_threads() { return sim::resolve_threads(0); }
 
 ParallelRunner::ParallelRunner(unsigned threads)
     : threads_{threads == 0 ? default_threads() : threads} {}

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "hermes/lb/load_balancer.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/rng.hpp"
 #include "hermes/sim/simulator.hpp"
 
@@ -29,7 +29,7 @@ struct CloveConfig {
 
 class CloveLb final : public LoadBalancer {
  public:
-  CloveLb(sim::Simulator& simulator, net::Topology& topo, CloveConfig config = {})
+  CloveLb(sim::Simulator& simulator, net::Fabric& topo, CloveConfig config = {})
       : simulator_{simulator},
         topo_{topo},
         config_{config},
@@ -37,7 +37,7 @@ class CloveLb final : public LoadBalancer {
     // Keyed by (src host, dst leaf): bounded by hosts x leaves, typically
     // a few thousand entries — reserve once, never rehash on the hot path.
     state_.reserve(static_cast<std::size_t>(topo.num_hosts()) *
-                   static_cast<std::size_t>(topo.config().num_leaves));
+                   static_cast<std::size_t>(topo.num_leaves()));
   }
 
   int select_path(FlowCtx& flow, const net::Packet&) override {
@@ -109,7 +109,7 @@ class CloveLb final : public LoadBalancer {
   }
 
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   CloveConfig config_;
   sim::Rng rng_;
   std::unordered_map<std::uint64_t, State> state_;

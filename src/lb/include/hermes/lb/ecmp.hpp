@@ -4,7 +4,7 @@
 #include <string_view>
 
 #include "hermes/lb/load_balancer.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 
 namespace hermes::lb {
 
@@ -13,7 +13,7 @@ namespace hermes::lb {
 /// no matter what the network does.
 class EcmpLb final : public LoadBalancer {
  public:
-  explicit EcmpLb(net::Topology& topo, std::uint64_t salt = 0) : topo_{topo}, salt_{salt} {}
+  explicit EcmpLb(net::Fabric& topo, std::uint64_t salt = 0) : topo_{topo}, salt_{salt} {}
 
   int select_path(FlowCtx& flow, const net::Packet&) override {
     if (flow.intra_rack()) return -1;
@@ -24,7 +24,7 @@ class EcmpLb final : public LoadBalancer {
   [[nodiscard]] std::string_view name() const override { return "ecmp"; }
 
  private:
-  net::Topology& topo_;
+  net::Fabric& topo_;
   std::uint64_t salt_;
 };
 

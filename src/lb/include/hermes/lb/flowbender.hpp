@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "hermes/lb/load_balancer.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/simulator.hpp"
 
 namespace hermes::lb {
@@ -25,7 +25,7 @@ struct FlowBenderConfig {
 
 class FlowBenderLb final : public LoadBalancer {
  public:
-  FlowBenderLb(sim::Simulator& simulator, net::Topology& topo, FlowBenderConfig config = {})
+  FlowBenderLb(sim::Simulator& simulator, net::Fabric& topo, FlowBenderConfig config = {})
       : simulator_{simulator}, topo_{topo}, config_{config} {
     state_.reserve(kExpectedConcurrentFlows);  // avoid rehashing mid-run
   }
@@ -79,7 +79,7 @@ class FlowBenderLb final : public LoadBalancer {
   };
 
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   FlowBenderConfig config_;
   std::unordered_map<std::uint64_t, State> state_;
 };

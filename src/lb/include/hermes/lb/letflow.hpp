@@ -3,7 +3,7 @@
 #include <string_view>
 
 #include "hermes/lb/load_balancer.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/rng.hpp"
 #include "hermes/sim/simulator.hpp"
 
@@ -20,7 +20,7 @@ struct LetFlowConfig {
 
 class LetFlowLb final : public LoadBalancer {
  public:
-  LetFlowLb(sim::Simulator& simulator, net::Topology& topo, LetFlowConfig config = {})
+  LetFlowLb(sim::Simulator& simulator, net::Fabric& topo, LetFlowConfig config = {})
       : simulator_{simulator},
         topo_{topo},
         config_{config},
@@ -42,7 +42,7 @@ class LetFlowLb final : public LoadBalancer {
 
  private:
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   LetFlowConfig config_;
   sim::Rng rng_;
 };

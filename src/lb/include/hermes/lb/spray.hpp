@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "hermes/lb/load_balancer.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 
 namespace hermes::lb {
 
@@ -28,7 +28,7 @@ struct SprayConfig {
 
 class SprayLb final : public LoadBalancer {
  public:
-  SprayLb(net::Topology& topo, SprayConfig config, std::string_view name)
+  SprayLb(net::Fabric& topo, SprayConfig config, std::string_view name)
       : topo_{topo}, config_{config}, name_{name} {
     state_.reserve(kExpectedConcurrentFlows);  // avoid rehashing mid-run
   }
@@ -82,20 +82,20 @@ class SprayLb final : public LoadBalancer {
     st.remaining_units = st.weights[st.idx];
   }
 
-  net::Topology& topo_;
+  net::Fabric& topo_;
   SprayConfig config_;
   std::string_view name_;
   std::unordered_map<std::uint64_t, State> state_;
 };
 
 /// Factory helpers for the named schemes.
-[[nodiscard]] inline SprayLb make_drb(net::Topology& topo) {
+[[nodiscard]] inline SprayLb make_drb(net::Fabric& topo) {
   return SprayLb{topo, SprayConfig{.cell_bytes = 0, .weighted = false}, "drb"};
 }
-[[nodiscard]] inline SprayLb make_presto_star(net::Topology& topo, bool weighted) {
+[[nodiscard]] inline SprayLb make_presto_star(net::Fabric& topo, bool weighted) {
   return SprayLb{topo, SprayConfig{.cell_bytes = 0, .weighted = weighted}, "presto*"};
 }
-[[nodiscard]] inline SprayLb make_presto_flowcell(net::Topology& topo) {
+[[nodiscard]] inline SprayLb make_presto_flowcell(net::Fabric& topo) {
   return SprayLb{topo, SprayConfig{.cell_bytes = 64 * 1024, .weighted = false}, "presto"};
 }
 

@@ -4,7 +4,7 @@
 #include <string_view>
 
 #include "hermes/lb/load_balancer.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 
 namespace hermes::lb {
 
@@ -16,7 +16,7 @@ namespace hermes::lb {
 /// how much of the asymmetric-fabric gap is just static weighting?).
 class WcmpLb final : public LoadBalancer {
  public:
-  explicit WcmpLb(net::Topology& topo, std::uint64_t salt = 0) : topo_{topo}, salt_{salt} {}
+  explicit WcmpLb(net::Fabric& topo, std::uint64_t salt = 0) : topo_{topo}, salt_{salt} {}
 
   int select_path(FlowCtx& flow, const net::Packet&) override {
     if (flow.intra_rack()) return -1;
@@ -37,7 +37,7 @@ class WcmpLb final : public LoadBalancer {
   [[nodiscard]] std::string_view name() const override { return "wcmp"; }
 
  private:
-  net::Topology& topo_;
+  net::Fabric& topo_;
   std::uint64_t salt_;
 };
 

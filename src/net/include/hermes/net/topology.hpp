@@ -6,6 +6,7 @@
 #include <tuple>
 #include <vector>
 
+#include "hermes/net/fabric.hpp"
 #include "hermes/net/host.hpp"
 #include "hermes/net/packet.hpp"
 #include "hermes/net/switch.hpp"
@@ -14,19 +15,6 @@
 #include "hermes/sim/simulator.hpp"
 
 namespace hermes::net {
-
-/// One end-to-end fabric path between a leaf pair: (spine, parallel link
-/// index). The up and down parallel-link indices are paired, which matches
-/// how ECMP groups are built on 2-tier Clos fabrics.
-struct FabricPath {
-  int id = -1;
-  int src_leaf = -1;
-  int dst_leaf = -1;
-  int spine = -1;
-  int link_idx = 0;
-  int local_index = 0;      ///< position within the leaf pair's path list
-  double capacity_bps = 0;  ///< min(uplink, downlink) rate
-};
 
 /// Parameters of a (possibly asymmetric) leaf-spine fabric.
 struct TopologyConfig {
@@ -63,7 +51,7 @@ struct TopologyConfig {
 
 /// Builds and owns the simulated fabric: hosts, leaf and spine switches,
 /// all ports, and the enumerated explicit paths (the XPath substitute).
-class Topology {
+class Topology : public Fabric {
  public:
   Topology(sim::Simulator& simulator, TopologyConfig config);
 
@@ -71,37 +59,20 @@ class Topology {
   /// The per-scenario packet pool every device and port of this fabric
   /// draws from (see packet_arena.hpp).
   [[nodiscard]] PacketArena& packet_arena() { return arena_; }
-  [[nodiscard]] int num_hosts() const { return config_.num_leaves * config_.hosts_per_leaf; }
-  [[nodiscard]] Host& host(int i) { return *hosts_[i]; }
-  [[nodiscard]] Switch& leaf(int i) { return *leaves_[i]; }
-  [[nodiscard]] Switch& spine(int i) { return *spines_[i]; }
+  [[nodiscard]] Host& host(int i) override { return *hosts_[i]; }
+  [[nodiscard]] Switch& leaf(int i) override { return *leaves_[i]; }
+  [[nodiscard]] Switch& spine(int i) override { return *spines_[i]; }
 
-  [[nodiscard]] int leaf_of(int host_id) const { return host_id / config_.hosts_per_leaf; }
-  [[nodiscard]] int local_index(int host_id) const { return host_id % config_.hosts_per_leaf; }
-  /// Any representative host in a rack (Hermes probe agents use host 0).
-  [[nodiscard]] int first_host_of_leaf(int leaf_id) const {
-    return leaf_id * config_.hosts_per_leaf;
-  }
-
-  /// All usable (non-cut) paths from src_leaf to dst_leaf. Empty for
-  /// src_leaf == dst_leaf (intra-rack traffic needs no fabric choice).
   [[nodiscard]] const std::vector<FabricPath>& paths_between_leaves(int src_leaf,
-                                                                    int dst_leaf) const;
-  [[nodiscard]] const std::vector<FabricPath>& paths_between_hosts(int src_host,
-                                                                   int dst_host) const {
-    return paths_between_leaves(leaf_of(src_host), leaf_of(dst_host));
-  }
-  [[nodiscard]] const FabricPath& path(int path_id) const { return all_paths_[path_id]; }
-  [[nodiscard]] int num_paths() const { return static_cast<int>(all_paths_.size()); }
+                                                                    int dst_leaf) const override;
+  [[nodiscard]] const FabricPath& path(int path_id) const override { return all_paths_[path_id]; }
+  [[nodiscard]] int num_paths() const override { return static_cast<int>(all_paths_.size()); }
 
-  /// Source route for a data packet from src to dst over fabric path
-  /// `path_id` (-1 for intra-rack). Entries are switch egress ports.
-  [[nodiscard]] Route forward_route(int src_host, int dst_host, int path_id) const;
-  /// Route for the reverse direction (ACKs retrace the same path).
-  [[nodiscard]] Route reverse_route(int src_host, int dst_host, int path_id) const;
+  [[nodiscard]] Route forward_route(int src_host, int dst_host, int path_id) const override;
+  [[nodiscard]] Route reverse_route(int src_host, int dst_host, int path_id) const override;
 
   /// Fabric ports, for congestion-aware schemes that read switch state.
-  [[nodiscard]] Port& leaf_uplink(int leaf_id, int spine, int k = 0);
+  [[nodiscard]] Port& leaf_uplink(int leaf_id, int spine, int k = 0) override;
   [[nodiscard]] Port& spine_downlink(int spine, int leaf_id, int k = 0);
 
   // --- runtime fault mutators (FaultScheduler) --------------------------
@@ -110,12 +81,9 @@ class Topology {
   // failure itself, exactly like a silent fault in a real fabric. (The
   // build-time `fabric_overrides` with rate 0, by contrast, remove paths
   // from enumeration — a fault every scheme knows about up front.)
-  /// Cut (up=false) or restore (up=true) both directions of a link.
-  void set_link_state(int leaf_id, int spine, bool up, int k = 0);
-  /// Degrade or restore both directions of a link to `rate_bps`.
-  void set_link_rate(int leaf_id, int spine, double rate_bps, int k = 0);
-  /// The build-time capacity of a link (what restore should return to).
-  [[nodiscard]] double configured_link_rate(int leaf_id, int spine, int k = 0) const {
+  void set_link_state(int leaf_id, int spine, bool up, int k = 0) override;
+  void set_link_rate(int leaf_id, int spine, double rate_bps, int k = 0) override;
+  [[nodiscard]] double configured_link_rate(int leaf_id, int spine, int k = 0) const override {
     return link_rate(leaf_id, spine, k);
   }
 
@@ -123,20 +91,14 @@ class Topology {
   /// Attach (or with null, detach) the scenario's flight recorder to every
   /// port in the fabric — host NICs, leaf and spine egress. Setup-time:
   /// interns all port names now so hot-path appends carry ids only.
-  void set_recorder(obs::FlightRecorder* rec);
+  void set_recorder(obs::FlightRecorder* rec) override;
   /// Register fabric-wide pull counters (tx/drops/ECN marks/failure
   /// drops) under "net.*". Closures read the live PortStats, so the hot
   /// path pays nothing beyond the counters it already maintained.
-  void register_metrics(obs::MetricsRegistry& reg);
+  void register_metrics(obs::MetricsRegistry& reg) override;
 
-  /// Aggregate leaf->spine capacity: the sustainable inter-rack load unit.
-  [[nodiscard]] double bisection_bps() const { return bisection_bps_; }
-  /// One-hop queueing delay at the ECN threshold (the paper's per-hop
-  /// delay guideline used to derive T_RTT_high and Delta_RTT).
-  [[nodiscard]] sim::SimTime one_hop_delay() const;
-  /// Base RTT (propagation + serialization, empty queues) between hosts
-  /// under different leaves.
-  [[nodiscard]] sim::SimTime base_rtt() const;
+  [[nodiscard]] sim::SimTime one_hop_delay() const override;
+  [[nodiscard]] sim::SimTime base_rtt() const override;
 
  private:
   [[nodiscard]] double link_rate(int leaf_id, int spine, int k) const;
@@ -159,7 +121,6 @@ class Topology {
   // pair_paths_[src_leaf * L + dst_leaf] -> usable paths
   std::vector<std::vector<FabricPath>> pair_paths_;
   std::vector<FabricPath> empty_;
-  double bisection_bps_ = 0;
 };
 
 }  // namespace hermes::net

@@ -54,6 +54,12 @@ Topology::Topology(sim::Simulator& simulator, TopologyConfig config)
   const int M = config_.links_per_pair;
   if (L < 1 || S < 1 || H < 1 || M < 1) throw std::invalid_argument("bad topology shape");
 
+  // Fabric dimension members (the abstract interface's concrete shape).
+  num_leaves_ = L;
+  num_spines_ = S;
+  hosts_per_leaf_ = H;
+  host_rate_bps_ = config_.host_rate_bps;
+
   for (int i = 0; i < L * H; ++i) hosts_.push_back(std::make_unique<Host>(simulator_, arena_, i));
   for (int i = 0; i < L; ++i)
     leaves_.push_back(std::make_unique<Switch>(simulator_, arena_, i, "leaf" + std::to_string(i)));

@@ -17,7 +17,7 @@ std::size_t round_up_pow2(std::size_t n) {
 
 }  // namespace
 
-FlightRecorder::FlightRecorder(std::size_t capacity) {
+FlightRecorder::FlightRecorder(std::size_t capacity, StringTable* shared) : shared_{shared} {
   const std::size_t cap = round_up_pow2(capacity);
   ring_.resize(cap);
   // Zero the slots (including struct padding) so a dumped ring is

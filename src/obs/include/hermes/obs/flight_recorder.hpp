@@ -26,23 +26,38 @@ class FlightRecorder {
  public:
   /// `capacity` is rounded up to a power of two (min 64) and fully
   /// preallocated here, so append() never touches the allocator.
-  explicit FlightRecorder(std::size_t capacity = 1u << 16);
+  ///
+  /// `shared` (optional) substitutes an external StringTable for the
+  /// owned one: the sharded harness hands every per-shard recorder the
+  /// same table so name ids stay consistent across shards and a merged
+  /// trace needs no id remapping. The table must outlive the recorder,
+  /// and interning stays a setup-time (single-threaded) operation.
+  explicit FlightRecorder(std::size_t capacity = 1u << 16, StringTable* shared = nullptr);
 
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
   /// Append one record. Allocation-free and O(1); overwrites the oldest
-  /// record when the ring is full.
+  /// record when the ring is full. Stamps the recorder's shard id into
+  /// the record header (pad[0]) — 0 for ordinary serial recorders, so
+  /// serial trace bytes are unchanged.
   // HERMES_HOT
   void append(const TraceRecord& r) {
-    ring_[static_cast<std::size_t>(head_) & mask_] = r;
+    TraceRecord& slot = ring_[static_cast<std::size_t>(head_) & mask_];
+    slot = r;
+    slot.pad[0] = shard_;
     ++head_;
   }
 
-  /// Intern a location name (setup-time only; allocates).
-  std::uint32_t intern(std::string_view s) { return names_.intern(s); }
+  /// Which shard's event stream this recorder captures (stamped into
+  /// every subsequent append; see TraceRecord::pad[0]).
+  void set_shard(std::uint8_t shard) { shard_ = shard; }
+  [[nodiscard]] std::uint8_t shard() const { return shard_; }
 
-  [[nodiscard]] const StringTable& names() const { return names_; }
+  /// Intern a location name (setup-time only; allocates).
+  std::uint32_t intern(std::string_view s) { return shared_ ? shared_->intern(s) : names_.intern(s); }
+
+  [[nodiscard]] const StringTable& names() const { return shared_ ? *shared_ : names_; }
 
   /// Records currently held (≤ capacity()).
   [[nodiscard]] std::size_t size() const {
@@ -70,7 +85,9 @@ class FlightRecorder {
   std::vector<TraceRecord> ring_;
   std::uint64_t head_ = 0;  ///< total appends; next slot = head_ & mask_
   std::size_t mask_ = 0;    ///< ring_.size() - 1 (size is a power of two)
-  StringTable names_;
+  std::uint8_t shard_ = 0;  ///< stamped into every record's pad[0]
+  StringTable names_;             ///< owned table (unused when shared_ set)
+  StringTable* shared_ = nullptr; ///< external table shared across shards
 };
 
 }  // namespace hermes::obs

@@ -140,6 +140,9 @@ struct TraceRecord {
   std::uint64_t flow_id;
   std::uint32_t name;
   RecordKind kind;
+  /// pad[0] carries the originating shard id (stamped by FlightRecorder;
+  /// 0 in serial traces, so pre-sharding trace bytes are unchanged).
+  /// pad[1..2] are zero.
   std::uint8_t pad[3];
   union {
     PacketPayload packet;

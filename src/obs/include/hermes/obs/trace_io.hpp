@@ -59,6 +59,13 @@ void build_flow_index(const std::vector<TraceRecord>& records,
 /// Returns false on I/O failure.
 bool write_trace(const std::string& path, const FlightRecorder& rec);
 
+/// Merge per-shard recorders into one schema-v2 trace: snapshots are
+/// concatenated, stably sorted by (time_ns, shard id), and written with a
+/// rebuilt flow index. All recorders must share one StringTable (the
+/// sharded harness constructs them that way); returns false otherwise,
+/// on an empty recorder list, or on I/O failure.
+bool write_merged_trace(const std::string& path, const std::vector<const FlightRecorder*>& shards);
+
 /// Load a schema v1 or v2 trace file. Returns false (and leaves `out`
 /// empty) on I/O failure, bad magic, version/record-size mismatch, or a
 /// truncated/corrupt body — partial input never yields partial output;

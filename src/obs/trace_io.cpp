@@ -106,21 +106,23 @@ void build_flow_index(const std::vector<TraceRecord>& records,
   }
 }
 
-bool write_trace(const std::string& path, const FlightRecorder& rec) {
+namespace {
+
+bool write_records(const std::string& path, const StringTable& names,
+                   const std::vector<TraceRecord>& records, std::uint64_t overwritten) {
   std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
   if (!f) return false;
   std::FILE* fp = f.get();
 
-  const std::uint32_t name_count = rec.names().size();
-  const std::vector<TraceRecord> records = rec.snapshot();
+  const std::uint32_t name_count = names.size();
 
   if (std::fwrite(kMagic, 1, 4, fp) != 4) return false;
   if (!put_u32(fp, kVersion) || !put_u32(fp, sizeof(TraceRecord)) || !put_u32(fp, name_count) ||
-      !put_u64(fp, records.size()) || !put_u64(fp, rec.overwritten())) {
+      !put_u64(fp, records.size()) || !put_u64(fp, overwritten)) {
     return false;
   }
   for (std::uint32_t id = 1; id <= name_count; ++id) {
-    const std::string& s = rec.names().name(id);
+    const std::string& s = names.name(id);
     if (!put_u32(fp, static_cast<std::uint32_t>(s.size()))) return false;
     if (!s.empty() && std::fwrite(s.data(), 1, s.size(), fp) != s.size()) return false;
   }
@@ -144,6 +146,41 @@ bool write_trace(const std::string& path, const FlightRecorder& rec) {
     return false;
   }
   return std::fflush(fp) == 0;
+}
+
+}  // namespace
+
+bool write_trace(const std::string& path, const FlightRecorder& rec) {
+  return write_records(path, rec.names(), rec.snapshot(), rec.overwritten());
+}
+
+bool write_merged_trace(const std::string& path,
+                        const std::vector<const FlightRecorder*>& shards) {
+  if (shards.empty()) return false;
+  std::vector<TraceRecord> records;
+  std::uint64_t overwritten = 0;
+  std::size_t total = 0;
+  for (const FlightRecorder* rec : shards) {
+    // One shared table is what makes concatenation meaningful: the same
+    // name id must resolve identically in every shard's records.
+    if (&rec->names() != &shards.front()->names()) return false;
+    total += rec->size();
+  }
+  records.reserve(total);
+  for (const FlightRecorder* rec : shards) {
+    const std::vector<TraceRecord> snap = rec->snapshot();
+    records.insert(records.end(), snap.begin(), snap.end());
+    overwritten += rec->overwritten();
+  }
+  // (time, shard) is the merged trace's canonical order: within a shard
+  // records are already chronological (stable sort keeps that), and
+  // cross-shard ties break on the shard id stamped in pad[0] — both
+  // independent of thread count, so merged traces are byte-comparable.
+  std::stable_sort(records.begin(), records.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+    return a.pad[0] < b.pad[0];
+  });
+  return write_records(path, shards.front()->names(), records, overwritten);
 }
 
 bool read_trace(const std::string& path, LoadedTrace& out, std::string* err) {

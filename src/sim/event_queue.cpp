@@ -295,6 +295,27 @@ void EventQueue::run_until(SimTime t) {
   if (!stopped_ && now_ < t) now_ = t;
 }
 
+void EventQueue::run_until_before(SimTime h) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (!peek_due()) break;
+    if (due_[due_head_].time >= h) break;
+    Event ev = std::move(due_[due_head_++]);
+    if (ev.slot != kNoSlot && !consume_slot(ev)) continue;
+    assert(live_ > 0);
+    --live_;
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
+  }
+  if (!stopped_ && now_ < h) now_ = h;
+}
+
+SimTime EventQueue::next_event_time() {
+  if (!peek_due()) return SimTime::max();
+  return due_[due_head_].time;
+}
+
 void EventQueue::run() {
   stopped_ = false;
   while (!stopped_ && run_one()) {

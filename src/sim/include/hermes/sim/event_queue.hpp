@@ -108,6 +108,16 @@ class EventQueue {
   bool run_one();
   /// Run all events with time <= t, then advance the clock to t.
   void run_until(SimTime t);
+  /// Run all events with time strictly < h, then advance the clock to h.
+  /// The sharded executor's round primitive: events at exactly h stay
+  /// pending, because boundary packets arriving at the horizon h may
+  /// legally sort before them in a later round.
+  void run_until_before(SimTime h);
+  /// Earliest stored event time, or SimTime::max() when nothing is
+  /// stored. May report a cancelled record's time — never *later* than
+  /// the true next event, so horizons derived from it stay conservative
+  /// (and deterministic: cancellation state is part of simulation state).
+  [[nodiscard]] SimTime next_event_time();
   /// Run until the queue drains or stop() is called.
   void run();
   /// Stop a run()/run_until() loop after the current event returns.

@@ -7,7 +7,7 @@
 
 namespace hermes::transport {
 
-HostStack::HostStack(sim::Simulator& simulator, net::Topology& topo, int host_id,
+HostStack::HostStack(sim::Simulator& simulator, net::Fabric& topo, int host_id,
                      lb::LoadBalancer& lb, TcpConfig config)
     : simulator_{simulator}, topo_{topo}, host_id_{host_id}, lb_{lb}, config_{config} {
   topo_.host(host_id_).on_receive = [this](net::Packet p, int) { handle(std::move(p)); };

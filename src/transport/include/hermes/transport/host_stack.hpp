@@ -7,7 +7,7 @@
 
 #include "hermes/lb/load_balancer.hpp"
 #include "hermes/net/host.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/simulator.hpp"
 #include "hermes/transport/flow.hpp"
 #include "hermes/transport/tcp_config.hpp"
@@ -22,7 +22,7 @@ namespace hermes::transport {
 /// paper's end-host module lives in.
 class HostStack {
  public:
-  HostStack(sim::Simulator& simulator, net::Topology& topo, int host_id,
+  HostStack(sim::Simulator& simulator, net::Fabric& topo, int host_id,
             lb::LoadBalancer& lb, TcpConfig config);
 
   /// Start a flow originating at this host (spec.src must equal host_id).
@@ -49,7 +49,7 @@ class HostStack {
   void answer_probe(const net::Packet& probe);
 
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   int host_id_;
   lb::LoadBalancer& lb_;
   TcpConfig config_;

@@ -8,7 +8,7 @@
 
 #include "hermes/lb/load_balancer.hpp"
 #include "hermes/net/packet.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/simulator.hpp"
 #include "hermes/transport/tcp_config.hpp"
 
@@ -24,7 +24,7 @@ class TcpReceiver {
  public:
   using SendFn = std::function<void(net::Packet)>;
 
-  TcpReceiver(sim::Simulator& simulator, net::Topology& topo, lb::LoadBalancer& lb,
+  TcpReceiver(sim::Simulator& simulator, net::Fabric& topo, lb::LoadBalancer& lb,
               TcpConfig config, std::uint64_t flow_id, std::int32_t flow_src,
               std::int32_t flow_dst, SendFn send);
 
@@ -43,7 +43,7 @@ class TcpReceiver {
   void flush_delayed();
 
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   lb::LoadBalancer& lb_;
   TcpConfig config_;
   std::uint64_t flow_id_;

@@ -6,7 +6,7 @@
 #include "hermes/lb/flow_ctx.hpp"
 #include "hermes/lb/load_balancer.hpp"
 #include "hermes/net/packet.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/simulator.hpp"
 #include "hermes/transport/flow.hpp"
 #include "hermes/transport/tcp_config.hpp"
@@ -31,7 +31,7 @@ class TcpSender {
   using SendFn = std::function<void(net::Packet)>;
   using CompletionFn = std::function<void(const FlowRecord&)>;
 
-  TcpSender(sim::Simulator& simulator, net::Topology& topo, lb::LoadBalancer& lb,
+  TcpSender(sim::Simulator& simulator, net::Fabric& topo, lb::LoadBalancer& lb,
             TcpConfig config, FlowSpec spec, SendFn send, CompletionFn on_complete);
 
   /// Begin transmitting (typically scheduled at spec.start).
@@ -58,7 +58,7 @@ class TcpSender {
   void complete();
 
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   lb::LoadBalancer& lb_;
   TcpConfig config_;
   FlowSpec spec_;

@@ -5,7 +5,7 @@
 
 #include "hermes/lb/flow_ctx.hpp"
 #include "hermes/lb/load_balancer.hpp"
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/simulator.hpp"
 
 namespace hermes::transport {
@@ -17,7 +17,7 @@ class UdpSource {
  public:
   using SendFn = std::function<void(net::Packet)>;
 
-  UdpSource(sim::Simulator& simulator, net::Topology& topo, lb::LoadBalancer& lb,
+  UdpSource(sim::Simulator& simulator, net::Fabric& topo, lb::LoadBalancer& lb,
             std::uint64_t flow_id, std::int32_t src, std::int32_t dst, double rate_bps,
             std::uint32_t payload_bytes, SendFn send)
       : simulator_{simulator},
@@ -76,7 +76,7 @@ class UdpSource {
   }
 
   sim::Simulator& simulator_;
-  net::Topology& topo_;
+  net::Fabric& topo_;
   lb::LoadBalancer& lb_;
   std::int32_t src_;
   std::int32_t dst_;

@@ -6,7 +6,7 @@
 
 namespace hermes::transport {
 
-TcpReceiver::TcpReceiver(sim::Simulator& simulator, net::Topology& topo, lb::LoadBalancer& lb,
+TcpReceiver::TcpReceiver(sim::Simulator& simulator, net::Fabric& topo, lb::LoadBalancer& lb,
                          TcpConfig config, std::uint64_t flow_id, std::int32_t flow_src,
                          std::int32_t flow_dst, SendFn send)
     : simulator_{simulator},

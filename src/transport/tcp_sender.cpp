@@ -11,7 +11,7 @@ namespace {
 constexpr double kInfiniteSsthresh = 1e18;
 }
 
-TcpSender::TcpSender(sim::Simulator& simulator, net::Topology& topo, lb::LoadBalancer& lb,
+TcpSender::TcpSender(sim::Simulator& simulator, net::Fabric& topo, lb::LoadBalancer& lb,
                      TcpConfig config, FlowSpec spec, SendFn send, CompletionFn on_complete)
     : simulator_{simulator},
       topo_{topo},

@@ -8,11 +8,11 @@
 
 namespace hermes::workload {
 
-std::vector<transport::FlowSpec> generate_poisson_traffic(const net::Topology& topo,
+std::vector<transport::FlowSpec> generate_poisson_traffic(const net::Fabric& topo,
                                                           const SizeDist& dist,
                                                           const TrafficConfig& cfg) {
   if (cfg.load <= 0) throw std::invalid_argument("load must be positive");
-  if (topo.config().num_leaves < 2 && cfg.inter_rack_only)
+  if (topo.num_leaves() < 2 && cfg.inter_rack_only)
     throw std::invalid_argument("inter-rack traffic needs at least two leaves");
 
   sim::Rng rng{cfg.seed};

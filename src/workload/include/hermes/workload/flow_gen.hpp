@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "hermes/net/topology.hpp"
+#include "hermes/net/fabric.hpp"
 #include "hermes/sim/rng.hpp"
 #include "hermes/transport/flow.hpp"
 #include "hermes/workload/size_dist.hpp"
@@ -26,6 +26,6 @@ struct TrafficConfig {
 };
 
 [[nodiscard]] std::vector<transport::FlowSpec> generate_poisson_traffic(
-    const net::Topology& topo, const SizeDist& dist, const TrafficConfig& cfg);
+    const net::Fabric& topo, const SizeDist& dist, const TrafficConfig& cfg);
 
 }  // namespace hermes::workload

@@ -6,6 +6,8 @@
 
 #include "hermes/core/config.hpp"
 #include "hermes/core/path_state.hpp"
+#include "hermes/net/topology.hpp"
+#include "hermes/sim/simulator.hpp"
 
 namespace hermes::core {
 namespace {

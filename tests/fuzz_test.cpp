@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -223,6 +224,27 @@ TEST(FuzzRunner, OutcomeContractHolds) {
     EXPECT_NE(o.repro.find("--seed=1"), std::string::npos);
     std::remove(o.trace_path.c_str());
   }
+}
+
+// Seed-replay of the sharded determinism fuzz mode: the exact check the
+// nightly `hermesfuzz --sharded` shard runs, pinned here for two seeds
+// so a thread-count-dependent regression fails in tier 1, not at night.
+TEST(FuzzRunner, ShardedSeedIsThreadCountDeterministic) {
+  const harness::ShardedFuzzOutcome o =
+      harness::run_sharded_fuzz_seed(5, harness::Scheme::kHermes);
+  EXPECT_EQ(o.seed, 5u);
+  EXPECT_GE(o.num_shards, 2);
+  EXPECT_TRUE(o.deterministic())
+      << "T=1 hash " << o.hash_t1 << " != T=2 hash " << o.hash_t2 << "; repro: " << o.repro;
+
+  const harness::ShardedFuzzOutcome e =
+      harness::run_sharded_fuzz_seed(17, harness::Scheme::kEcmp);
+  EXPECT_TRUE(e.deterministic()) << e.repro;
+}
+
+TEST(FuzzRunner, ShardedRejectsGlobalStateSchemes) {
+  EXPECT_THROW((void)harness::run_sharded_fuzz_seed(1, harness::Scheme::kConga),
+               std::invalid_argument);
 }
 
 // --- flow index (trace schema v2) ---------------------------------------

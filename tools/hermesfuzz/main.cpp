@@ -32,7 +32,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=N] [--seed-base=B] [--seed=S] [--scheme=NAME]\n"
-               "          [--threads=N] [--out=DIR] [--no-triage] [--describe]\n"
+               "          [--threads=N] [--out=DIR] [--no-triage] [--describe] [--sharded]\n"
                "  --seeds=N      run seeds [seed-base, seed-base+N) (default 100)\n"
                "  --seed-base=B  first seed of the range (default 0)\n"
                "  --seed=S       run exactly one seed (overrides --seeds/--seed-base)\n"
@@ -40,7 +40,9 @@ int usage(const char* argv0) {
                "  --threads=N    worker threads (default HERMES_THREADS or hw)\n"
                "  --out=DIR      directory for FUZZ_<seed>.htrc triage dumps\n"
                "  --no-triage    skip flight recording and trace dumps (faster)\n"
-               "  --describe     print each seed's generated scenario and exit\n",
+               "  --describe     print each seed's generated scenario and exit\n"
+               "  --sharded      determinism fuzz: per-seed sharded fat-tree with a fault\n"
+               "                 flap train, run at 1 and 2 threads; FAIL on hash mismatch\n",
                argv0);
   return 2;
 }
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
   std::string out_dir;
   bool triage = true;
   bool describe = false;
+  bool sharded = false;
 
   for (int i = 1; i < argc; ++i) {
     if (const char* v = opt_value(argv, argc, i, "--seeds")) {
@@ -101,6 +104,8 @@ int main(int argc, char** argv) {
       triage = false;
     } else if (std::strcmp(argv[i], "--describe") == 0) {
       describe = true;
+    } else if (std::strcmp(argv[i], "--sharded") == 0) {
+      sharded = true;
     } else {
       return usage(argv[0]);
     }
@@ -124,6 +129,27 @@ int main(int argc, char** argv) {
   }
 
   const harness::ParallelRunner runner{static_cast<unsigned>(threads)};
+
+  if (sharded) {
+    // Each seed already runs its scenario twice (1 and 2 executor
+    // threads), so map seeds serially and let the executor own the
+    // parallelism.
+    std::size_t mismatches = 0;
+    for (const std::uint64_t s : seeds) {
+      const harness::ShardedFuzzOutcome o = harness::run_sharded_fuzz_seed(s, scheme);
+      if (o.deterministic()) continue;
+      ++mismatches;
+      std::printf("FAIL seed=%llu shards=%d hash_t1=%016llx hash_t2=%016llx\n",
+                  static_cast<unsigned long long>(o.seed), o.num_shards,
+                  static_cast<unsigned long long>(o.hash_t1),
+                  static_cast<unsigned long long>(o.hash_t2));
+      if (!o.repro.empty()) std::printf("  repro: %s\n", o.repro.c_str());
+    }
+    std::printf("hermesfuzz: sharded scheme=%s seeds=%zu mismatching=%zu\n",
+                harness::to_string(scheme), seeds.size(), mismatches);
+    return mismatches == 0 ? 0 : 1;
+  }
+
   const std::vector<harness::FuzzOutcome> outcomes =
       runner.map<harness::FuzzOutcome>(seeds.size(), [&](std::size_t i) {
         return harness::run_fuzz_scenario(gen.generate(seeds[i]), scheme, triage, out_dir);

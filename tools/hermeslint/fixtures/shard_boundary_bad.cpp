@@ -1,0 +1,21 @@
+// Fixture: sim.shard-boundary triggers on Port/Host pointer dereference
+// inside HERMES_SHARDED regions. Never compiled.
+struct Port {
+  int depth = 0;
+  void enqueue(int b);
+};
+struct Host {
+  int id = 0;
+  void deliver(int b);
+};
+
+// HERMES_SHARDED
+void exchange(Port* remote_port, Host* remote_host) {
+  remote_port->enqueue(1);     // reaches into the destination shard's switch
+  (*remote_host).deliver(2);   // same, spelled as an explicit dereference
+  const int d = remote_port->depth;
+  (void)d;
+}
+
+// Untagged code touches its own shard's ports freely: not flagged.
+void local_touch(Port* p) { p->enqueue(3); }

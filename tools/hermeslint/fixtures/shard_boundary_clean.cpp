@@ -1,0 +1,26 @@
+// Fixture: the mailbox-shaped twin of shard_boundary_bad.cpp — barrier
+// code that only stages and merges mail is quiet. Never compiled.
+struct Port {
+  int depth = 0;
+};
+
+struct Mail {
+  long deliver_at = 0;
+  int dst_sw = 0;
+  int dst_port = 0;
+};
+
+struct Outbox {
+  void push(Mail m);
+  void clear();
+};
+
+// HERMES_SHARDED
+long exchange(Outbox& box) {
+  box.push(Mail{7, 1, 2});   // value-typed mail, no foreign pointers
+  box.clear();
+  return 1;
+}
+
+// A Port* declared and dereferenced outside any tagged region is fine.
+int cold_depth(Port* p) { return p->depth; }

@@ -42,6 +42,7 @@ constexpr std::string_view kHdrPragmaOnce = "header.pragma-once";
 constexpr std::string_view kHdrUsingNamespace = "header.using-namespace";
 constexpr std::string_view kHdrDirectInclude = "header.direct-include";
 constexpr std::string_view kObsPodRecord = "obs.pod-record";
+constexpr std::string_view kSimShardBoundary = "sim.shard-boundary";
 constexpr std::string_view kMetaSuppression = "meta.suppression";
 
 const std::vector<RuleInfo> kCatalogue = {
@@ -70,6 +71,10 @@ const std::vector<RuleInfo> kCatalogue = {
     {kObsPodRecord,
      "HERMES_POD_RECORD structs are memcpy'd into the flight-recorder ring and dumped "
      "raw; heap-owning members (std::string, containers, smart pointers) are banned"},
+    {kSimShardBoundary,
+     "HERMES_SHARDED regions run at the cross-shard barrier; dereferencing Port/Host "
+     "pointers there touches another shard's state directly — route it through the "
+     "mailbox API instead"},
     {kMetaSuppression,
      "hermeslint:allow directives must name known rules and carry a written reason"},
 };
@@ -514,6 +519,39 @@ void Linter::collect_unordered_names(const File& f) {
   }
 }
 
+/// Names of variables lexically declared as `Port*` / `Host*` (any
+/// qualification; `net::Port* p`, `Port *p`, `Port* const p`) anywhere in
+/// the file. sim.shard-boundary flags dereferences of these names inside
+/// HERMES_SHARDED regions: barrier-time code must not reach into another
+/// shard's switches or hosts directly.
+std::vector<std::string> boundary_pointer_names(const std::vector<Line>& lines) {
+  std::vector<std::string> names;
+  for (const Line& line : lines) {
+    const std::string& code = line.code;
+    for (const std::string_view type : {std::string_view{"Port"}, std::string_view{"Host"}}) {
+      for (std::size_t pos = find_identifier(code, type); pos != std::string_view::npos;
+           pos = find_identifier(code, type, pos + 1)) {
+        std::size_t p = pos + type.size();
+        while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p])) != 0) ++p;
+        if (p >= code.size() || code[p] != '*') continue;
+        ++p;
+        while (p < code.size() && (std::isspace(static_cast<unsigned char>(code[p])) != 0 ||
+                                   code[p] == '*')) {
+          ++p;
+        }
+        if (matches_identifier_at(code, p, "const")) {
+          p += 5;
+          while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p])) != 0) ++p;
+        }
+        std::size_t end = p;
+        while (end < code.size() && is_ident_char(code[end])) ++end;
+        if (end > p) names.emplace_back(code.substr(p, end - p));
+      }
+    }
+  }
+  return names;
+}
+
 LintResult Linter::run() const {
   LintResult out;
   out.files_scanned = static_cast<int>(files_.size());
@@ -538,7 +576,12 @@ void Linter::lint_file(const File& f, LintResult& out) const {
   for (Finding& m : meta) out.findings.push_back(std::move(m));
   const std::vector<char> hot = tag_mask(lines, "HERMES_HOT", /*file_scope=*/true);
   const std::vector<char> pod = tag_mask(lines, "HERMES_POD_RECORD", /*file_scope=*/false);
+  const std::vector<char> sharded = tag_mask(lines, "HERMES_SHARDED", /*file_scope=*/true);
   const bool hot_file = std::any_of(hot.begin(), hot.end(), [](char h) { return h != 0; });
+  const std::vector<std::string> shard_ptrs =
+      std::any_of(sharded.begin(), sharded.end(), [](char s) { return s != 0; })
+          ? boundary_pointer_names(lines)
+          : std::vector<std::string>{};
 
   // Routes a raw finding through the suppression table.
   auto emit = [&](std::string_view rule, std::size_t line0, std::string message) {
@@ -654,6 +697,39 @@ void Linter::lint_file(const File& f, LintResult& out) const {
              "range-for over unordered container '" + name +
                  "' leaks hash order; iterate sorted keys (or a sorted snapshot) "
                  "before feeding results");
+      }
+    }
+
+    // ---- sim.shard-boundary ----
+    // A dereference is `name->` or `(*name)` where `name` was declared a
+    // Port*/Host* in this file. The declaration itself (`Port* p`) is not
+    // a dereference: a `*` preceded by an identifier is a declarator.
+    if (sharded[i] != 0) {
+      for (const std::string& name : shard_ptrs) {
+        for (std::size_t pos = find_identifier(code, name); pos != std::string_view::npos;
+             pos = find_identifier(code, name, pos + 1)) {
+          std::size_t after = pos + name.size();
+          while (after < code.size() && std::isspace(static_cast<unsigned char>(code[after])) != 0)
+            ++after;
+          const bool arrow =
+              after + 1 < code.size() && code[after] == '-' && code[after + 1] == '>';
+          std::size_t before = pos;
+          while (before > 0 && std::isspace(static_cast<unsigned char>(code[before - 1])) != 0)
+            --before;
+          bool star = false;
+          if (before > 0 && code[before - 1] == '*') {
+            std::size_t q = before - 1;
+            while (q > 0 && std::isspace(static_cast<unsigned char>(code[q - 1])) != 0) --q;
+            star = q == 0 || !is_ident_char(code[q - 1]);
+          }
+          if (arrow || star) {
+            emit(kSimShardBoundary, i,
+                 "direct dereference of Port/Host pointer '" + name +
+                     "' in a HERMES_SHARDED region; cross-shard state moves through the "
+                     "mailbox API only (Outbox::push at emit time, inbox delivery inside "
+                     "the owning shard)");
+          }
+        }
       }
     }
 

@@ -219,6 +219,36 @@ TEST(HermeslintRules, PodRecordQuietOnCleanTwin) {
   EXPECT_TRUE(r.findings.empty()) << to_json(r);
 }
 
+TEST(HermeslintRules, ShardBoundaryCatchesPortHostDerefInTaggedRegion) {
+  const LintResult r = lint_fixture("shard_boundary_bad.cpp");
+  // remote_port-> (x2), (*remote_host). — all inside the tagged region.
+  EXPECT_EQ(count_rule(r, "sim.shard-boundary"), 3) << to_json(r);
+  // The untagged local_touch() dereference must NOT be flagged.
+  const bool cold_flagged =
+      std::any_of(r.findings.begin(), r.findings.end(), [](const auto& f) {
+        return f.rule == "sim.shard-boundary" && f.line > 18;
+      });
+  EXPECT_FALSE(cold_flagged) << to_json(r);
+}
+
+TEST(HermeslintRules, ShardBoundaryQuietOnMailboxTwin) {
+  const LintResult r = lint_fixture("shard_boundary_clean.cpp");
+  EXPECT_EQ(count_rule(r, "sim.shard-boundary"), 0) << to_json(r);
+}
+
+TEST(HermeslintRules, ShardBoundaryIgnoresDeclarations) {
+  Linter linter;
+  linter.add_file("decl.cpp",
+                  "struct Port { int d; };\n"
+                  "// HERMES_SHARDED\n"
+                  "void f() {\n"
+                  "  Port* p = nullptr;\n"  // a declarator, not a dereference
+                  "  (void)p;\n"
+                  "}\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "sim.shard-boundary"), 0) << to_json(r);
+}
+
 TEST(HermeslintRules, ObsSymbolsNeedDirectIncludes) {
   Linter linter;
   linter.add_file("user.hpp",

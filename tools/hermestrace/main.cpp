@@ -169,6 +169,23 @@ int cmd_summary(const LoadedTrace& t, bool json) {
   std::vector<const TraceRecord*> latches;
   std::vector<const TraceRecord*> escapes;
 
+  // Sharded traces: pad[0] is the originating shard id and the merged
+  // file's canonical order is (time_ns, shard). A record running earlier
+  // than its predecessor means the merge (or a writer) broke that
+  // contract — flag it rather than silently summarizing garbage.
+  std::map<std::uint8_t, std::uint64_t> records_by_shard;
+  std::uint64_t order_violations = 0;
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    const TraceRecord& r = t.records[i];
+    ++records_by_shard[r.pad[0]];
+    if (i > 0) {
+      const TraceRecord& p = t.records[i - 1];
+      if (r.time_ns < p.time_ns || (r.time_ns == p.time_ns && r.pad[0] < p.pad[0])) {
+        ++order_violations;
+      }
+    }
+  }
+
   for (const TraceRecord& r : t.records) {
     switch (r.kind) {
       case RecordKind::kPacket:
@@ -205,12 +222,18 @@ int cmd_summary(const LoadedTrace& t, bool json) {
     std::printf("{\"records\":%zu,\"overwritten\":%" PRIu64 ",\"names\":%zu,"
                 "\"span_us\":[%.3f,%.3f],\"packets\":{\"total\":%" PRIu64 ",\"enqueue\":%" PRIu64
                 ",\"transmit\":%" PRIu64 ",\"drop\":%" PRIu64 "},\"queue_samples\":%" PRIu64
-                ",\"faults\":{\"onsets\":%" PRIu64 ",\"recoveries\":%" PRIu64 "},"
-                "\"decisions\":{",
+                ",\"faults\":{\"onsets\":%" PRIu64 ",\"recoveries\":%" PRIu64 "},",
                 t.records.size(), t.overwritten, t.names.size(), t0, t1, packets,
                 packet_by_event[0], packet_by_event[1], packet_by_event[2], queue_samples,
                 fault_onsets, fault_recoveries);
     bool first = true;
+    std::printf("\"shards\":{");
+    for (const auto& [sh, c] : records_by_shard) {
+      std::printf("%s\"%u\":%" PRIu64, first ? "" : ",", static_cast<unsigned>(sh), c);
+      first = false;
+    }
+    std::printf("},\"order_violations\":%" PRIu64 ",\"decisions\":{", order_violations);
+    first = true;
     for (const auto& [k, c] : decisions_by_kind) {
       std::printf("%s\"%s\":%" PRIu64, first ? "" : ",", decision_kind_name(k), c);
       first = false;
@@ -242,6 +265,20 @@ int cmd_summary(const LoadedTrace& t, bool json) {
   std::printf("trace: %zu records (%" PRIu64 " overwritten before dump), %zu names\n",
               t.records.size(), t.overwritten, t.names.size());
   std::printf("span:  %.3fus .. %.3fus\n", t0, t1);
+  if (records_by_shard.size() > 1 || order_violations != 0) {
+    std::printf("shards:");
+    for (const auto& [sh, c] : records_by_shard) {
+      std::printf(" %u=%" PRIu64, static_cast<unsigned>(sh), c);
+    }
+    std::printf("\n");
+    if (order_violations != 0) {
+      std::printf("WARNING: %" PRIu64 " cross-shard time-order violation(s) — merged trace "
+                  "is not sorted by (time, shard); the merge or a writer is broken\n",
+                  order_violations);
+    } else {
+      std::printf("cross-shard time order: OK\n");
+    }
+  }
   std::printf("packets: %" PRIu64 " (ENQ %" PRIu64 " / TX %" PRIu64 " / DROP %" PRIu64 ")\n",
               packets, packet_by_event[0], packet_by_event[1], packet_by_event[2]);
   std::printf("queue samples: %" PRIu64 "\n", queue_samples);
