@@ -4,21 +4,31 @@
 #   1. Default (RelWithDebInfo) build with -Werror + full ctest suite
 #      (includes the hermeslint fixture tests and the tree-clean check).
 #   2. hermeslint over the whole tree — zero findings required; see
-#      DESIGN.md "Static analysis & invariants" for the rules.
-#   3. Release (-O2, NDEBUG) build + `bench_core_micro --smoke`, proving
+#      DESIGN.md "Static analysis & invariants" for the rules. The run
+#      is incremental (content-hash cache in build/hermeslint.cache),
+#      writes SARIF to build/hermeslint.sarif, and its wall time is
+#      reported (informationally) against the metrics.lint entry in
+#      BENCH_core.json by check_bench_regress.py.
+#   3. clang-tidy gated subset: the WarningsAsErrors checks curated in
+#      .clang-tidy (seeded-rand CERT rules, use-after-move, cheap
+#      modernize/performance wins) over src/ — any of them failing
+#      fails the gate. Auto-skipped when the clang-tidy binary is
+#      absent (most build containers; CI's lint job always has it);
+#      opt out explicitly with HERMES_TIER1_TIDY=0.
+#   4. Release (-O2, NDEBUG) build + `bench_core_micro --smoke`, proving
 #      the perf-measurement path itself stays alive, followed by the
 #      perf-regression guard: steady-state allocs/packet must stay
 #      <= 0.01 and packet_pipeline_10mb throughput within 50% of the
 #      committed BENCH_core.json baseline (full numbers live there; see
 #      EXPERIMENTS.md).
-#   4. Sharded smoke: bench_ext_fattree_scale --smoke runs a k=4
+#   5. Sharded smoke: bench_ext_fattree_scale --smoke runs a k=4
 #      fat-tree under the sharded executor at 1 and 2 threads, asserts
 #      byte-identical FCT output internally, and the regression guard
 #      re-checks determinism/completion from the emitted JSON.
-#   5. Fuzz smoke: 25 seeds through hermesfuzz. The nightly workflow
+#   6. Fuzz smoke: 25 seeds through hermesfuzz. The nightly workflow
 #      (fuzz.yml) runs thousands; this is the per-change canary that the
 #      fuzz loop itself still works and the first seeds stay clean.
-#   6. TSan build (HERMES_SANITIZE=thread) running the parallel-runner,
+#   7. TSan build (HERMES_SANITIZE=thread) running the parallel-runner,
 #      determinism, and sharded-executor tests — every threaded path
 #      must be race-free. Skip with HERMES_TIER1_TSAN=0 (e.g. on
 #      machines without TSan).
@@ -29,38 +39,51 @@ cd "$(dirname "$0")/.."
 
 JOBS="${HERMES_TIER1_JOBS:-$(nproc)}"
 
-echo "== [1/6] build (-Werror) + ctest (RelWithDebInfo) =="
+echo "== [1/7] build (-Werror) + ctest (RelWithDebInfo) =="
 cmake -B build -S . -DHERMES_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/6] hermeslint =="
-./build/tools/hermeslint/hermeslint --root=. src bench tests examples
+echo "== [2/7] hermeslint (incremental, SARIF) =="
+./build/tools/hermeslint/hermeslint --root=. \
+  --cache=build/hermeslint.cache --threads="$JOBS" \
+  --json=build/hermeslint.json --sarif=build/hermeslint.sarif \
+  src bench tests examples tools
+python3 scripts/check_bench_regress.py BENCH_core.json build/hermeslint.json
 
-echo "== [3/6] Release build + bench_core_micro --smoke =="
+if [[ "${HERMES_TIER1_TIDY:-1}" != "1" ]]; then
+  echo "== [3/7] clang-tidy gated subset skipped (HERMES_TIER1_TIDY=0) =="
+elif ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "== [3/7] clang-tidy gated subset skipped (binary not installed) =="
+else
+  echo "== [3/7] clang-tidy gated subset (WarningsAsErrors from .clang-tidy) =="
+  git ls-files 'src/**/*.cpp' | xargs -P "$JOBS" -n 4 clang-tidy -p build --quiet
+fi
+
+echo "== [4/7] Release build + bench_core_micro --smoke =="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "$JOBS" --target bench_core_micro
 (cd build-rel && ./bench/bench_core_micro --smoke --json=BENCH_core_smoke.json)
 python3 scripts/check_bench_regress.py BENCH_core.json build-rel/BENCH_core_smoke.json
 
-echo "== [4/6] sharded smoke (k=4 fat-tree, 1 vs 2 threads) =="
+echo "== [5/7] sharded smoke (k=4 fat-tree, 1 vs 2 threads) =="
 cmake --build build-rel -j "$JOBS" --target bench_ext_fattree_scale
 (cd build-rel && ./bench/bench_ext_fattree_scale --smoke --json=BENCH_fattree_smoke.json)
 python3 scripts/check_bench_regress.py BENCH_core.json build-rel/BENCH_fattree_smoke.json
 
-echo "== [5/6] fuzz smoke (25 seeds) =="
+echo "== [6/7] fuzz smoke (25 seeds) =="
 FUZZ_OUT="$(mktemp -d)"
 ./build/tools/hermesfuzz/hermesfuzz --seeds=25 --out="$FUZZ_OUT"
 rm -rf "$FUZZ_OUT"
 
 if [[ "${HERMES_TIER1_TSAN:-1}" == "1" ]]; then
-  echo "== [6/6] TSan build + parallel/sharded tests =="
+  echo "== [7/7] TSan build + parallel/sharded tests =="
   cmake -B build-tsan -S . -DHERMES_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target hermes_tests
   ./build-tsan/tests/hermes_tests \
     --gtest_filter='ParallelRunner.*:Determinism.ParallelSweepIsByteIdenticalToSerial:Sharded.ThreadCountIsInvisible_Ecmp:Sharded.FaultTrainIsThreadCountInvisible'
 else
-  echo "== [6/6] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
+  echo "== [7/7] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
 fi
 
 echo "tier-1: OK"

@@ -80,7 +80,7 @@ class ShardedScenario {
   ShardedScenario& operator=(const ShardedScenario&) = delete;
 
   [[nodiscard]] net::FatTree& fabric() { return *fabric_; }
-  [[nodiscard]] sim::Simulator& shard_sim(int s) { return *sims_[s]; }
+  [[nodiscard]] sim::Simulator& shard_sim(int shard) { return *sims_[shard]; }
   [[nodiscard]] int num_shards() const { return static_cast<int>(sims_.size()); }
   [[nodiscard]] const ShardedScenarioConfig& config() const { return config_; }
   [[nodiscard]] transport::HostStack& stack(int host_id) { return *stacks_[host_id]; }
@@ -133,16 +133,23 @@ class ShardedScenario {
   [[nodiscard]] std::vector<std::uint64_t> sorted_active_ids(int shard) const;
 
   ShardedScenarioConfig config_;
+  // HERMES_SHARD_OWNED one Simulator per shard; index only by shard id
   std::vector<std::unique_ptr<sim::Simulator>> sims_;
   std::unique_ptr<net::FatTree> fabric_;
+  // HERMES_SHARD_OWNED one balancer per shard
   std::vector<std::unique_ptr<lb::LoadBalancer>> lbs_;   ///< one per shard
-  std::vector<core::HermesLb*> hermes_;                  ///< owned by lbs_
+  // HERMES_SHARD_OWNED shard-local Hermes instances (owned by lbs_)
+  std::vector<core::HermesLb*> hermes_;
   std::vector<std::unique_ptr<transport::HostStack>> stacks_;  ///< per host
-  std::vector<std::unique_ptr<faults::FaultScheduler>> fault_scheds_;  ///< per shard, may be null
+  // HERMES_SHARD_OWNED per-shard fault scheduler, may be null
+  std::vector<std::unique_ptr<faults::FaultScheduler>> fault_scheds_;
   obs::StringTable trace_names_;  ///< shared by every shard recorder
+  // HERMES_SHARD_OWNED per-shard flight recorder
   std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;
   obs::MetricsRegistry metrics_;
 
+  // HERMES_SHARD_OWNED per-shard mutable run state; a wrong index here is
+  // a cross-shard data race under the parallel executor
   std::vector<ShardState> shard_states_;
   sim::ShardedExecutor::Stats exec_stats_;
   unsigned threads_used_ = 0;

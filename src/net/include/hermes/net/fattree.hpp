@@ -193,14 +193,18 @@ class FatTree final : public Fabric {
   std::vector<sim::Simulator*> sims_;
   /// One packet pool per shard; declared before the devices (their ports
   /// keep references into the arena, members destroy in reverse).
+  // HERMES_SHARD_OWNED one arena per shard; index only by shard id
   std::vector<std::unique_ptr<PacketArena>> arenas_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> edges_;  ///< pod-major: pod*k/2 + e
   std::vector<std::unique_ptr<Switch>> aggs_;   ///< pod-major: pod*k/2 + a
   std::vector<std::unique_ptr<Switch>> cores_;
   std::vector<std::unique_ptr<Portal>> portals_;
-  std::vector<Outbox> outboxes_;  ///< S*S grid, only cross pairs used
-  std::vector<Inbox> inboxes_;    ///< per destination shard
+  // HERMES_SHARD_OWNED S*S mailbox grid, only cross pairs used; indices
+  // derive from (src_shard, dst_shard)
+  std::vector<Outbox> outboxes_;
+  // HERMES_SHARD_OWNED per destination shard
+  std::vector<Inbox> inboxes_;
   std::uint64_t boundary_packets_ = 0;
 
   std::vector<FabricPath> all_paths_;

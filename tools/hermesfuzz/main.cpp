@@ -14,6 +14,7 @@
 // Exit status: 0 all seeds clean, 1 at least one failing seed (each with
 // a dumped trace + repro line), 2 usage error.
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>

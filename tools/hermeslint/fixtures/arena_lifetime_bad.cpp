@@ -1,0 +1,49 @@
+// Fixture: core.arena-lifetime — a handle (or a Packet reference derived
+// from it) is dead after the arena frees the slot or resets, and a live
+// handle must not be cached into a member inside a HERMES_SHARDED
+// region. Never compiled.
+#include <vector>
+
+struct Packet {
+  int flow = 0;
+  long bytes = 0;
+};
+
+struct PacketArena {
+  Packet& operator[](int h);
+  int alloc();
+  void free(int h);
+  void reset();
+};
+
+using PacketHandle = int;
+
+struct Device {
+  PacketArena arena_;
+
+  long use_after_free() {
+    PacketHandle h = arena_.alloc();
+    Packet& p = arena_[h];
+    arena_.free(h);
+    return p.bytes;  // the alias outlives the slot
+  }
+
+  int handle_after_reset() {
+    PacketHandle h = arena_.alloc();
+    arena_.reset();
+    return h;  // wholesale reset killed every handle
+  }
+};
+
+// HERMES_SHARDED
+struct Portal {
+  PacketArena arena_;
+  std::vector<int> held_;
+  int cached_ = 0;
+
+  void stage() {
+    PacketHandle h = arena_.alloc();
+    held_.push_back(h);  // handle cached across the barrier round
+    cached_ = h;         // same, via member assignment
+  }
+};

@@ -1,0 +1,64 @@
+// Fixture: clean twin of arena_lifetime_bad.cpp — uses precede frees, a
+// free inside a terminating branch does not poison the fall-through, a
+// re-allocated handle is healed, and barrier code ships Packets by value.
+// Never compiled.
+#include <vector>
+
+struct Packet {
+  int flow = 0;
+  long bytes = 0;
+};
+
+struct PacketArena {
+  Packet& operator[](int h);
+  int alloc();
+  void free(int h);
+};
+
+using PacketHandle = int;
+
+struct Device {
+  PacketArena arena_;
+
+  long deliver() {
+    PacketHandle h = arena_.alloc();
+    Packet& p = arena_[h];
+    const long bytes = p.bytes;  // use strictly before the free
+    arena_.free(h);
+    return bytes;
+  }
+
+  long branch_free(bool drop) {
+    PacketHandle h = arena_.alloc();
+    if (drop) {
+      arena_.free(h);
+      return 0;  // the kill cannot reach the fall-through path
+    }
+    Packet& q = arena_[h];
+    const long b = q.bytes;
+    arena_.free(h);
+    return b;
+  }
+
+  int refresh() {
+    PacketHandle h = arena_.alloc();
+    arena_.free(h);
+    h = arena_.alloc();  // re-definition heals: a fresh slot
+    const int out = h;
+    arena_.free(h);
+    return out;
+  }
+};
+
+// HERMES_SHARDED
+struct Portal {
+  PacketArena arena_;
+  std::vector<Packet> mail_;
+
+  void stage() {
+    PacketHandle h = arena_.alloc();
+    Packet copy = arena_[h];  // by value: payload leaves the slot
+    arena_.free(h);
+    mail_.push_back(copy);  // value mail, no handle survives the round
+  }
+};

@@ -1,0 +1,20 @@
+// Fixture: sim.float-order — floating-point accumulation over unordered
+// iteration sums in hash order. Never compiled.
+#include <numeric>
+#include <unordered_map>
+
+struct Flows {
+  std::unordered_map<int, double> rtt_;
+
+  double mean_bad() {
+    double sum = 0.0;
+    for (const auto& kv : rtt_) {
+      sum += kv.second;  // hash-order float addition
+    }
+    return sum;
+  }
+
+  double total_bad() {
+    return std::accumulate(rtt_.begin(), rtt_.end(), 0.0);  // same, via algorithm
+  }
+};

@@ -1,0 +1,26 @@
+// Fixture: clean twin of float_order_bad.cpp — accumulate over a sorted
+// snapshot, or accumulate integers; both are order-independent. Never
+// compiled.
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+struct Flows {
+  std::unordered_map<int, double> rtt_;
+
+  double mean_sorted() {
+    const std::map<int, double> sorted(rtt_.begin(), rtt_.end());
+    double sum = 0.0;
+    for (const auto& kv : sorted) {
+      sum += kv.second;  // ordered iteration: deterministic sum
+    }
+    return sum;
+  }
+
+  double total_sorted() {
+    const std::map<int, double> sorted(rtt_.begin(), rtt_.end());
+    return std::accumulate(sorted.begin(), sorted.end(), 0.0,
+                           [](double acc, const auto& kv) { return acc + kv.second; });
+  }
+};

@@ -1,0 +1,7 @@
+// Fixture: arch.layering — the test adds this file under a synthetic
+// src/net/ path; net (rank 1) must not include harness (rank 5) or its
+// same-rank siblings. Never compiled.
+#include "hermes/harness/scenario.hpp"
+#include "hermes/sim/simulator.hpp"
+
+int touch() { return 1; }

@@ -1,0 +1,8 @@
+// Fixture: clean twin of layering_bad.cpp — the test adds this file
+// under a synthetic src/net/ path; sim and obs sit below net, and the
+// module's own headers are always fine. Never compiled.
+#include "hermes/net/fattree.hpp"
+#include "hermes/obs/metrics.hpp"
+#include "hermes/sim/simulator.hpp"
+
+int touch() { return 1; }

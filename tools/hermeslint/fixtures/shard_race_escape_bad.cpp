@@ -1,4 +1,4 @@
-// Fixture: sim.shard-boundary triggers on Port/Host pointer dereference
+// Fixture: sim.shard-race triggers on Port/Host pointer dereference
 // inside HERMES_SHARDED regions. Never compiled.
 struct Port {
   int depth = 0;

@@ -1,4 +1,4 @@
-// Fixture: the mailbox-shaped twin of shard_boundary_bad.cpp — barrier
+// Fixture: the mailbox-shaped twin of shard_race_escape_bad.cpp — barrier
 // code that only stages and merges mail is quiet. Never compiled.
 struct Port {
   int depth = 0;

@@ -1,0 +1,34 @@
+// Fixture: sim.shard-race (indexing half) — subscripts of a
+// HERMES_SHARD_OWNED container must carry shard provenance. A flow id
+// and a literal loop bound do not. Never compiled.
+#include <vector>
+
+struct State {
+  int pending = 0;
+};
+
+struct Runner {
+  // HERMES_SHARD_OWNED per-shard run state
+  std::vector<State> states_;
+  int num_shards_ = 8;
+
+  void absorb(int flow_id) {
+    states_[flow_id].pending++;  // a flow id is not a shard id
+  }
+
+  void bad_loop() {
+    for (int i = 0; i < 4; ++i) {
+      states_[i].pending = 0;  // literal bound: no shard provenance
+    }
+  }
+
+  void good(int shard) {
+    states_[shard].pending++;  // caller's routing decision: fine
+  }
+
+  void good_loop() {
+    for (int s = 0; s < num_shards_; ++s) {
+      states_[s].pending = 0;  // num_shards-bounded induction: fine
+    }
+  }
+};

@@ -1,0 +1,31 @@
+// Fixture: clean twin of shard_race_index_bad.cpp — every subscript of
+// the HERMES_SHARD_OWNED container derives from shard ownership. Never
+// compiled.
+#include <vector>
+
+struct State {
+  int pending = 0;
+};
+
+int shard_of_flow(int flow_id);
+
+struct Runner {
+  // HERMES_SHARD_OWNED per-shard run state
+  std::vector<State> states_;
+  int num_shards_ = 8;
+
+  void absorb(int flow_id) {
+    const int shard = shard_of_flow(flow_id);
+    states_[shard].pending++;  // derived via shard_of_flow
+  }
+
+  void inline_call(int flow_id) {
+    states_[shard_of_flow(flow_id)].pending++;  // shard_of_* inline
+  }
+
+  void drain() {
+    for (int s = 0; s < num_shards_; ++s) {
+      states_[s].pending = 0;  // num_shards-bounded induction
+    }
+  }
+};

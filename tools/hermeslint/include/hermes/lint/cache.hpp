@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hermes/lint/linter.hpp"
+#include "hermes/lint/summary.hpp"
+
+namespace hermes::lint {
+
+/// One file's cached state. The summary is valid whenever `content_hash`
+/// matches the file on disk; the findings/suppressions are additionally
+/// valid only while the whole-tree GlobalContext hash is unchanged
+/// (cross-file rules — layering, symbol index, unordered names — can
+/// change a file's findings without the file itself changing).
+struct CachedFile {
+  std::uint64_t content_hash = 0;
+  FileSummary summary;
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressions;
+};
+
+/// The on-disk incremental cache: a version-stamped text file. Any parse
+/// irregularity (truncation, unknown version, stray fields) discards the
+/// whole cache — a cold lint is always correct, a half-read cache is not.
+struct Cache {
+  std::uint64_t global_hash = 0;        ///< GlobalContext::hash() at save time
+  std::uint64_t rules_version = 0;      ///< linter rule-set fingerprint
+  std::map<std::string, CachedFile> files;
+};
+
+/// Loads `path`; returns an empty cache when missing or malformed.
+Cache load_cache(const std::string& path);
+
+/// Atomically (write-then-rename) persists the cache. Returns false on IO
+/// failure — callers treat that as "no cache next run", never an error.
+bool save_cache(const std::string& path, const Cache& cache);
+
+}  // namespace hermes::lint

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "hermes/lint/lexer.hpp"
+#include "hermes/lint/summary.hpp"
 
 namespace hermes::lint {
 
@@ -17,19 +19,30 @@ struct Finding {
   std::string snippet;
 };
 
-/// A finding that was silenced by a `// hermeslint:allow(<rule>) <reason>`
-/// directive; kept so reports can audit every suppression and its reason.
+/// A finding silenced by an in-source allow directive (the syntax is
+/// `allow(<rule>) <reason>` after the tool's own name and a colon); kept
+/// so reports can audit every suppression, its reason, and its optional
+/// `expires(YYYY-MM-DD)` deadline.
 struct Suppression {
   std::string file;
   int line = 0;
   std::string rule;
   std::string reason;
+  std::string expires;  ///< ISO date; empty when the allow never expires
 };
 
 struct LintResult {
   std::vector<Finding> findings;
   std::vector<Suppression> suppressed;
   int files_scanned = 0;
+};
+
+/// Wall-time and cache accounting for one lint drive; reported in the
+/// JSON output so the warm/cold lint budgets are machine-checkable.
+struct LintTiming {
+  double wall_ms = 0.0;
+  int files_reused = 0;  ///< findings served from the incremental cache
+  int files_linted = 0;  ///< files lexed and rule-passed this run
 };
 
 struct RuleInfo {
@@ -41,34 +54,55 @@ struct RuleInfo {
 const std::vector<RuleInfo>& rule_catalogue();
 bool is_known_rule(std::string_view id);
 
+/// Fingerprint of the rule set (ids + summaries). Cached findings are
+/// only reusable while this matches the cache's recorded value.
+std::uint64_t rules_version();
+
 /// Project-specific static analysis over a set of C++ sources.
 ///
-/// Usage: add_file() every file (a global pass records the names of all
-/// unordered-container variables so iteration over them can be flagged
-/// across file boundaries), then run() to execute the rule passes.
+/// v2 is two-phase so the incremental driver can cache each phase by
+/// content hash: summarize() collects a file's cross-TU facts (includes,
+/// unordered names, shard-owned members, exported symbols) from its
+/// lexed lines; build_context() folds all summaries into the
+/// GlobalContext; lint_file() runs every rule pass for one file under
+/// that context. The Linter class wraps the phases for in-process use:
+/// add_file() everything, then run().
 class Linter {
  public:
   /// `path` is used verbatim in findings; `source` is the file contents.
   void add_file(std::string path, std::string source);
+
+  /// ISO date (YYYY-MM-DD) used to judge `expires(...)` clauses on allow
+  /// directives; unset (empty) disables expiry checking.
+  void set_today(std::string iso_date);
+
   [[nodiscard]] LintResult run() const;
+
+  static FileSummary summarize(const std::string& path, const std::vector<Line>& lines);
+  static GlobalContext build_context(const std::vector<const FileSummary*>& summaries,
+                                     std::string today);
+  static void lint_file(const std::string& path, const std::vector<Line>& lines,
+                        const FileSummary& summary, const GlobalContext& ctx, LintResult& out);
 
  private:
   struct File {
     std::string path;
-    bool is_header = false;
     std::vector<Line> lines;
+    FileSummary summary;
   };
 
-  void collect_unordered_names(const File& f);
-  void lint_file(const File& f, LintResult& out) const;
-
   std::vector<File> files_;
-  std::vector<std::string> unordered_names_;
+  std::string today_;
 };
 
-/// Serialize a result as the machine-readable report (schema v1):
-/// {"tool","schema_version","findings":[{file,line,rule,message,snippet}],
-///  "suppressed":[{file,line,rule,reason}],"files_scanned","clean"}
-std::string to_json(const LintResult& result);
+/// Sorts findings/suppressions into the canonical (file, line, rule)
+/// order every output format relies on.
+void sort_result(LintResult& result);
+
+/// Serialize a result as the machine-readable report (schema v2):
+/// {"tool","schema_version":2,"findings":[{file,line,rule,message,snippet}],
+///  "suppressed":[{file,line,rule,reason,expires}],"files_scanned","clean",
+///  "timing":{wall_ms,files_reused,files_linted}} — timing only when given.
+std::string to_json(const LintResult& result, const LintTiming* timing = nullptr);
 
 }  // namespace hermes::lint

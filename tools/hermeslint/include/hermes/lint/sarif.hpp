@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "hermes/lint/linter.hpp"
+
+namespace hermes::lint {
+
+/// Serializes a lint result as a SARIF 2.1.0 log, the interchange format
+/// GitHub code scanning ingests. One run, driver "hermeslint", the full
+/// rule catalogue under tool.driver.rules (so code scanning can render
+/// rule help even for rules with zero findings this run), one result per
+/// finding with a physicalLocation region. Suppressed findings are
+/// emitted with a SARIF `suppressions` entry (kind "inSource") so the
+/// audit trail survives into the scanning UI instead of vanishing.
+/// Paths in the result are repo-relative URIs.
+std::string to_sarif(const LintResult& result);
+
+}  // namespace hermes::lint

@@ -1,0 +1,221 @@
+#include "hermes/lint/cache.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hermes::lint {
+
+namespace {
+
+constexpr std::string_view kMagic = "hermeslint-cache v2";
+
+/// The cache is line-oriented; embedded newlines, backslashes and the
+/// '|' field separator are escaped so every record stays one line.
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '|': out += "\\p"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool unescape(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out->push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '\\': out->push_back('\\'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'p': out->push_back('|'); break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string_view> split_fields(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;  // escaped char; never a separator
+      continue;
+    }
+    if (s[i] == '|') {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(s.substr(start));
+  return out;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    std::uint64_t d = 0;
+    if (c >= '0' && c <= '9') d = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') d = static_cast<std::uint64_t>(c - 'a') + 10;
+    else return false;
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_int(std::string_view s, int* out) {
+  if (s.empty()) return false;
+  int v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Cache load_cache(const std::string& path) {
+  Cache cache;
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return {};
+  CachedFile* cur = nullptr;
+  std::string cur_path;
+  const auto abort = [&] {
+    return Cache{};
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t sp = line.find(' ');
+    const std::string_view key = std::string_view{line}.substr(0, sp);
+    const std::string_view rest =
+        sp == std::string::npos ? std::string_view{} : std::string_view{line}.substr(sp + 1);
+    if (key == "global") {
+      if (!parse_u64(rest, &cache.global_hash)) return abort();
+    } else if (key == "rules") {
+      if (!parse_u64(rest, &cache.rules_version)) return abort();
+    } else if (key == "file") {
+      std::string p;
+      if (!unescape(rest, &p) || p.empty()) return abort();
+      cur_path = p;
+      cur = &cache.files[p];
+      cur->summary.path = p;
+    } else if (cur == nullptr) {
+      return abort();
+    } else if (key == "hash") {
+      if (!parse_u64(rest, &cur->content_hash)) return abort();
+    } else if (key == "module") {
+      if (!unescape(rest, &cur->summary.module)) return abort();
+    } else if (key == "header") {
+      cur->summary.is_header = rest == "1";
+    } else if (key == "include") {
+      std::string v;
+      if (!unescape(rest, &v)) return abort();
+      cur->summary.includes.push_back(std::move(v));
+    } else if (key == "unordered") {
+      std::string v;
+      if (!unescape(rest, &v)) return abort();
+      cur->summary.unordered_names.push_back(std::move(v));
+    } else if (key == "shardowned") {
+      std::string v;
+      if (!unescape(rest, &v)) return abort();
+      cur->summary.shard_owned.push_back(std::move(v));
+    } else if (key == "symbol") {
+      const std::vector<std::string_view> f = split_fields(rest);
+      if (f.size() != 2) return abort();
+      SymbolDef def;
+      if (!unescape(f[0], &def.ns) || !unescape(f[1], &def.name)) return abort();
+      cur->summary.symbols.push_back(std::move(def));
+    } else if (key == "finding") {
+      const std::vector<std::string_view> f = split_fields(rest);
+      if (f.size() != 4) return abort();
+      Finding fd;
+      fd.file = cur_path;
+      if (!parse_int(f[0], &fd.line)) return abort();
+      if (!unescape(f[1], &fd.rule) || !unescape(f[2], &fd.message) ||
+          !unescape(f[3], &fd.snippet)) {
+        return abort();
+      }
+      cur->findings.push_back(std::move(fd));
+    } else if (key == "suppression") {
+      const std::vector<std::string_view> f = split_fields(rest);
+      if (f.size() != 4) return abort();
+      Suppression sp2;
+      sp2.file = cur_path;
+      if (!parse_int(f[0], &sp2.line)) return abort();
+      if (!unescape(f[1], &sp2.rule) || !unescape(f[2], &sp2.reason) ||
+          !unescape(f[3], &sp2.expires)) {
+        return abort();
+      }
+      cur->suppressions.push_back(std::move(sp2));
+    } else {
+      return abort();  // unknown record: stale format, start cold
+    }
+  }
+  return cache;
+}
+
+bool save_cache(const std::string& path, const Cache& cache) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << kMagic << '\n';
+    out << "global " << hex(cache.global_hash) << '\n';
+    out << "rules " << hex(cache.rules_version) << '\n';
+    for (const auto& [p, f] : cache.files) {
+      out << "file " << escape(p) << '\n';
+      out << "hash " << hex(f.content_hash) << '\n';
+      out << "module " << escape(f.summary.module) << '\n';
+      out << "header " << (f.summary.is_header ? '1' : '0') << '\n';
+      for (const std::string& inc : f.summary.includes) out << "include " << escape(inc) << '\n';
+      for (const std::string& u : f.summary.unordered_names)
+        out << "unordered " << escape(u) << '\n';
+      for (const std::string& s : f.summary.shard_owned) out << "shardowned " << escape(s) << '\n';
+      for (const SymbolDef& s : f.summary.symbols)
+        out << "symbol " << escape(s.ns) << '|' << escape(s.name) << '\n';
+      for (const Finding& fd : f.findings) {
+        out << "finding " << fd.line << '|' << escape(fd.rule) << '|' << escape(fd.message) << '|'
+            << escape(fd.snippet) << '\n';
+      }
+      for (const Suppression& sp : f.suppressions) {
+        out << "suppression " << sp.line << '|' << escape(sp.rule) << '|' << escape(sp.reason)
+            << '|' << escape(sp.expires) << '\n';
+      }
+    }
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace hermes::lint

@@ -1,6 +1,10 @@
 #include "hermes/lint/lexer.hpp"
 
 #include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace hermes::lint {
 

@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
+
+#include "hermes/lint/dataflow.hpp"
+#include "hermes/lint/graph.hpp"
+#include "hermes/lint/summary.hpp"
 
 namespace hermes::lint {
 
@@ -42,7 +49,10 @@ constexpr std::string_view kHdrPragmaOnce = "header.pragma-once";
 constexpr std::string_view kHdrUsingNamespace = "header.using-namespace";
 constexpr std::string_view kHdrDirectInclude = "header.direct-include";
 constexpr std::string_view kObsPodRecord = "obs.pod-record";
-constexpr std::string_view kSimShardBoundary = "sim.shard-boundary";
+constexpr std::string_view kSimShardRace = "sim.shard-race";
+constexpr std::string_view kCoreArenaLifetime = "core.arena-lifetime";
+constexpr std::string_view kSimFloatOrder = "sim.float-order";
+constexpr std::string_view kArchLayering = "arch.layering";
 constexpr std::string_view kMetaSuppression = "meta.suppression";
 
 const std::vector<RuleInfo> kCatalogue = {
@@ -67,16 +77,30 @@ const std::vector<RuleInfo> kCatalogue = {
     {kHdrPragmaOnce, "headers must open with #pragma once"},
     {kHdrUsingNamespace, "headers must not contain using-namespace directives"},
     {kHdrDirectInclude,
-     "curated std:: symbols require a direct #include, not a transitive one"},
+     "curated std:: symbols and indexed hermes namespace symbols require a direct "
+     "#include, not a transitive one"},
     {kObsPodRecord,
      "HERMES_POD_RECORD structs are memcpy'd into the flight-recorder ring and dumped "
      "raw; heap-owning members (std::string, containers, smart pointers) are banned"},
-    {kSimShardBoundary,
-     "HERMES_SHARDED regions run at the cross-shard barrier; dereferencing Port/Host "
-     "pointers there touches another shard's state directly — route it through the "
-     "mailbox API instead"},
+    {kSimShardRace,
+     "HERMES_SHARDED barrier code must not touch another shard's state: Port/Host "
+     "pointer dereferences (including escaped aliases) and subscripts of "
+     "HERMES_SHARD_OWNED state without shard provenance race the owning shard's event "
+     "stream"},
+    {kCoreArenaLifetime,
+     "an ArenaHandle (and any Packet reference derived from it) is dead once the arena "
+     "frees the slot or resets; later uses read recycled bytes, and handles cached "
+     "across a barrier round outlive their slot"},
+    {kSimFloatOrder,
+     "floating-point accumulation over unordered-container iteration sums in hash "
+     "order; iterate a sorted view or accumulate integers"},
+    {kArchLayering,
+     "module includes must respect the layering DAG (sim/obs at the bottom, then net, "
+     "lb, core/transport/faults, stats/workload, harness, bench/tools); every edge "
+     "points strictly down-rank"},
     {kMetaSuppression,
-     "hermeslint:allow directives must name known rules and carry a written reason"},
+     "allow directives must name known rules (once each per line), carry a written "
+     "reason, and any expires(YYYY-MM-DD) clause must be well-formed and in the future"},
 };
 
 /// Wall-entropy free functions (determinism.rand).
@@ -142,38 +166,19 @@ constexpr SymbolHeader kSymbolHeaders[] = {
     {"byte", "cstddef"},
 };
 
-/// Curated obs:: symbol -> required direct #include, same contract as
-/// kSymbolHeaders: observability types must not be picked up transitively
-/// (the obs headers are small and deliberately layered; see DESIGN.md §9).
-/// Matched as `obs::<symbol>` or `hermes::obs::<symbol>`.
-constexpr SymbolHeader kObsSymbolHeaders[] = {
-    {"FlightRecorder", "hermes/obs/flight_recorder.hpp"},
-    {"StringTable", "hermes/obs/string_table.hpp"},
-    {"MetricsRegistry", "hermes/obs/metrics.hpp"},
-    {"Histogram", "hermes/obs/metrics.hpp"},
-    {"TraceRecord", "hermes/obs/records.hpp"},
-    {"RecordKind", "hermes/obs/records.hpp"},
-    {"PacketEvent", "hermes/obs/records.hpp"},
-    {"DecisionKind", "hermes/obs/records.hpp"},
-    {"make_record", "hermes/obs/records.hpp"},
-    {"path_condition_name", "hermes/obs/records.hpp"},
-    {"kPathCondNone", "hermes/obs/records.hpp"},
-    {"LoadedTrace", "hermes/obs/trace_io.hpp"},
-    {"read_trace", "hermes/obs/trace_io.hpp"},
-    {"write_trace", "hermes/obs/trace_io.hpp"},
-    {"build_flow_index", "hermes/obs/trace_io.hpp"},
-    {"DiffResult", "hermes/obs/trace_diff.hpp"},
-    {"DecisionDiff", "hermes/obs/trace_diff.hpp"},
-    {"diff_decisions", "hermes/obs/trace_diff.hpp"},
+/// Namespaces whose exported symbols are collected into the computed
+/// cross-TU symbol index (header.direct-include). The `parent` is the
+/// enclosing namespace a fully-qualified use spells before the tail
+/// (`hermes::obs::X`, `faults::fuzz::Y`): any other scope with the same
+/// tail name is not ours.
+struct NsScope {
+  std::string_view tail;
+  std::string_view parent;
 };
-
-/// Curated faults::fuzz:: symbol map, mirroring kObsSymbolHeaders: the
-/// fuzzer types ride in harness/tool code that must name their header
-/// directly. Matched as `fuzz::<symbol>` with a preceding `faults` scope.
-constexpr SymbolHeader kFuzzSymbolHeaders[] = {
-    {"RandomScenarioGenerator", "hermes/faults/scenario_fuzzer.hpp"},
-    {"FuzzScenario", "hermes/faults/scenario_fuzzer.hpp"},
-    {"FuzzLimits", "hermes/faults/scenario_fuzzer.hpp"},
+constexpr NsScope kIndexedNs[] = {
+    {"obs", "hermes"},
+    {"fuzz", "faults"},
+    {"lint", "hermes"},
 };
 
 /// Member types banned inside HERMES_POD_RECORD structs (obs.pod-record):
@@ -264,6 +269,7 @@ bool member_style_decl_after(std::string_view code, std::size_t pos) {
 struct Directives {
   std::map<std::size_t, std::set<std::string, std::less<>>> allow;  ///< line -> rules
   std::map<std::size_t, std::string> allow_reason;                  ///< line -> reason
+  std::map<std::size_t, std::string> allow_expires;                 ///< line -> ISO date
   std::set<std::size_t> reserve_audited;                            ///< audited lines
 };
 
@@ -277,14 +283,26 @@ std::size_t directive_target(const std::vector<Line>& lines, std::size_t i) {
   return i;
 }
 
+/// True when `date` is a well-formed YYYY-MM-DD.
+bool is_iso_date(std::string_view date) {
+  if (date.size() != 10 || date[4] != '-' || date[7] != '-') return false;
+  for (const std::size_t i : {0U, 1U, 2U, 3U, 5U, 6U, 8U, 9U}) {
+    if (std::isdigit(static_cast<unsigned char>(date[i])) == 0) return false;
+  }
+  return true;
+}
+
 Directives parse_directives(const std::string& path, const std::vector<Line>& lines,
-                            std::vector<Finding>& meta) {
+                            std::string_view today, std::vector<Finding>& meta) {
   Directives d;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& c = lines[i].comment;
     for (std::size_t at = c.find("hermeslint:"); at != std::string::npos;
          at = c.find("hermeslint:", at + 1)) {
       const std::string_view rest = std::string_view{c}.substr(at + 11);
+      // Prose may mention the tool name followed by a colon; only an
+      // identifier glued to the colon reads as a directive.
+      if (rest.empty() || !is_ident_char(rest.front())) continue;
       const int line_no = static_cast<int>(i + 1);
       if (rest.rfind("allow(", 0) == 0) {
         const std::size_t close = rest.find(')');
@@ -311,7 +329,14 @@ Directives parse_directives(const std::string& path, const std::vector<Line>& li
             reported = true;
             continue;
           }
-          d.allow[target].insert(std::string(rule));
+          if (!d.allow[target].insert(std::string(rule)).second) {
+            meta.push_back({path, line_no, std::string(kMetaSuppression),
+                            "duplicate allow of rule '" + std::string(rule) +
+                                "' for the same line; one directive per rule per line",
+                            std::string(trim(c))});
+            reported = true;
+            continue;
+          }
           any = true;
         }
         if (!any) {
@@ -325,6 +350,28 @@ Directives parse_directives(const std::string& path, const std::vector<Line>& li
                           std::string(trim(c))});
         } else {
           d.allow_reason[target] = reason;
+          // Optional expiry clause inside the reason: expires(YYYY-MM-DD).
+          const std::size_t exp = reason.find("expires(");
+          if (exp != std::string::npos) {
+            const std::size_t eclose = reason.find(')', exp);
+            const std::string_view date =
+                eclose == std::string::npos
+                    ? std::string_view{}
+                    : trim(std::string_view{reason}.substr(exp + 8, eclose - exp - 8));
+            if (!is_iso_date(date)) {
+              meta.push_back({path, line_no, std::string(kMetaSuppression),
+                              "malformed expires clause: want expires(YYYY-MM-DD)",
+                              std::string(trim(c))});
+            } else {
+              d.allow_expires[target] = std::string(date);
+              if (!today.empty() && today > date) {
+                meta.push_back({path, line_no, std::string(kMetaSuppression),
+                                "suppression expired on " + std::string(date) +
+                                    "; re-audit the site and renew or fix it",
+                                std::string(trim(c))});
+              }
+            }
+          }
         }
       } else if (rest.rfind("reserve-audited(", 0) == 0) {
         const std::size_t close = rest.find(')');
@@ -464,66 +511,11 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-}  // namespace
-
-const std::vector<RuleInfo>& rule_catalogue() { return kCatalogue; }
-
-bool is_known_rule(std::string_view id) {
-  return std::any_of(kCatalogue.begin(), kCatalogue.end(),
-                     [&](const RuleInfo& r) { return r.id == id; });
-}
-
-void Linter::add_file(std::string path, std::string source) {
-  File f;
-  f.path = std::move(path);
-  f.is_header = ends_with(f.path, ".hpp") || ends_with(f.path, ".h");
-  f.lines = Lexer::scan(source);
-  collect_unordered_names(f);
-  files_.push_back(std::move(f));
-}
-
-void Linter::collect_unordered_names(const File& f) {
-  for (std::size_t i = 0; i < f.lines.size(); ++i) {
-    for (const std::string_view type : kUnorderedTypes) {
-      for (std::size_t pos = find_identifier(f.lines[i].code, type); pos != std::string_view::npos;
-           pos = find_identifier(f.lines[i].code, type, pos + 1)) {
-        // Join ahead so multi-line template argument lists still parse.
-        const std::string decl = joined_code(f.lines, i, 6);
-        const std::size_t at = find_identifier(decl, type);
-        if (at == std::string_view::npos) continue;
-        std::size_t open = at + type.size();
-        while (open < decl.size() && std::isspace(static_cast<unsigned char>(decl[open])) != 0)
-          ++open;
-        if (open >= decl.size() || decl[open] != '<') continue;
-        std::size_t after = skip_angles(decl, open);
-        if (after == std::string_view::npos) continue;
-        // Skip refs/pointers/cv noise between the type and the name.
-        while (after < decl.size()) {
-          const char ch = decl[after];
-          if (std::isspace(static_cast<unsigned char>(ch)) != 0 || ch == '&' || ch == '*') {
-            ++after;
-          } else if (matches_identifier_at(decl, after, "const")) {
-            after += 5;
-          } else {
-            break;
-          }
-        }
-        std::size_t end = after;
-        while (end < decl.size() && is_ident_char(decl[end])) ++end;
-        if (end > after) {
-          unordered_names_.emplace_back(decl.substr(after, end - after));
-        }
-        break;  // one declaration per matched type occurrence is enough
-      }
-    }
-  }
-}
-
 /// Names of variables lexically declared as `Port*` / `Host*` (any
 /// qualification; `net::Port* p`, `Port *p`, `Port* const p`) anywhere in
-/// the file. sim.shard-boundary flags dereferences of these names inside
-/// HERMES_SHARDED regions: barrier-time code must not reach into another
-/// shard's switches or hosts directly.
+/// the file. sim.shard-race flags dereferences of these names (and their
+/// escaped aliases) inside HERMES_SHARDED regions: barrier-time code must
+/// not reach into another shard's switches or hosts directly.
 std::vector<std::string> boundary_pointer_names(const std::vector<Line>& lines) {
   std::vector<std::string> names;
   for (const Line& line : lines) {
@@ -552,57 +544,13 @@ std::vector<std::string> boundary_pointer_names(const std::vector<Line>& lines) 
   return names;
 }
 
-LintResult Linter::run() const {
-  LintResult out;
-  out.files_scanned = static_cast<int>(files_.size());
-  for (const File& f : files_) {
-    lint_file(f, out);
-  }
-  auto order = [](const Finding& a, const Finding& b) {
-    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-  };
-  std::sort(out.findings.begin(), out.findings.end(), order);
-  std::sort(out.suppressed.begin(), out.suppressed.end(),
-            [](const Suppression& a, const Suppression& b) {
-              return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
-            });
-  return out;
-}
-
-void Linter::lint_file(const File& f, LintResult& out) const {
-  const std::vector<Line>& lines = f.lines;
-  std::vector<Finding> meta;
-  const Directives dir = parse_directives(f.path, lines, meta);
-  for (Finding& m : meta) out.findings.push_back(std::move(m));
-  const std::vector<char> hot = tag_mask(lines, "HERMES_HOT", /*file_scope=*/true);
-  const std::vector<char> pod = tag_mask(lines, "HERMES_POD_RECORD", /*file_scope=*/false);
-  const std::vector<char> sharded = tag_mask(lines, "HERMES_SHARDED", /*file_scope=*/true);
-  const bool hot_file = std::any_of(hot.begin(), hot.end(), [](char h) { return h != 0; });
-  const std::vector<std::string> shard_ptrs =
-      std::any_of(sharded.begin(), sharded.end(), [](char s) { return s != 0; })
-          ? boundary_pointer_names(lines)
-          : std::vector<std::string>{};
-
-  // Routes a raw finding through the suppression table.
-  auto emit = [&](std::string_view rule, std::size_t line0, std::string message) {
-    const auto it = dir.allow.find(line0);
-    if (it != dir.allow.end() && it->second.find(rule) != it->second.end()) {
-      const auto reason = dir.allow_reason.find(line0);
-      out.suppressed.push_back({f.path, static_cast<int>(line0 + 1), std::string(rule),
-                                reason != dir.allow_reason.end() ? reason->second : ""});
-      return;
-    }
-    out.findings.push_back({f.path, static_cast<int>(line0 + 1), std::string(rule),
-                            std::move(message),
-                            line0 < lines.size() ? std::string(trim(lines[line0].raw)) : ""});
-  };
-
-  // ---- collect this file's direct includes (for header.direct-include).
-  // Parsed from the raw line: the lexer strips string literals out of
-  // `code`, which would erase the path of quoted ("hermes/...") includes.
-  std::set<std::string, std::less<>> includes;
-  for (const Line& line : lines) {
-    const std::string_view code = trim(line.raw);
+/// The direct #include targets of a file with the 0-based line of each.
+/// Parsed from the raw line: the lexer strips string literals out of
+/// `code`, which would erase the path of quoted ("hermes/...") includes.
+std::vector<std::pair<std::string, std::size_t>> include_targets(const std::vector<Line>& lines) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view code = trim(lines[i].raw);
     if (code.rfind("#", 0) != 0) continue;
     std::string_view rest = trim(code.substr(1));
     if (rest.rfind("include", 0) != 0) continue;
@@ -611,7 +559,223 @@ void Linter::lint_file(const File& f, LintResult& out) const {
     const char close = rest.front() == '<' ? '>' : (rest.front() == '"' ? '"' : '\0');
     if (close == '\0') continue;
     const std::size_t end = rest.find(close, 1);
-    if (end != std::string_view::npos) includes.emplace(rest.substr(1, end - 1));
+    if (end != std::string_view::npos) out.emplace_back(std::string(rest.substr(1, end - 1)), i);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() { return kCatalogue; }
+
+bool is_known_rule(std::string_view id) {
+  return std::any_of(kCatalogue.begin(), kCatalogue.end(),
+                     [&](const RuleInfo& r) { return r.id == id; });
+}
+
+std::uint64_t rules_version() {
+  std::uint64_t h = fnv1a("hermeslint-rules");
+  for (const RuleInfo& r : kCatalogue) {
+    h = fnv1a(r.id, h);
+    h = fnv1a("\x1f", h);
+    h = fnv1a(r.summary, h);
+    h = fnv1a("\x1e", h);
+  }
+  return h;
+}
+
+void Linter::add_file(std::string path, std::string source) {
+  File f;
+  f.path = std::move(path);
+  f.lines = Lexer::scan(source);
+  f.summary = summarize(f.path, f.lines);
+  files_.push_back(std::move(f));
+}
+
+void Linter::set_today(std::string iso_date) { today_ = std::move(iso_date); }
+
+FileSummary Linter::summarize(const std::string& path, const std::vector<Line>& lines) {
+  FileSummary s;
+  s.path = path;
+  s.module = module_of_path(path);
+  s.is_header = ends_with(path, ".hpp") || ends_with(path, ".h");
+  for (const auto& inc : include_targets(lines)) s.includes.push_back(inc.first);
+
+  // Unordered-container variable names (cross-file: iteration over them is
+  // flagged wherever it happens, not just in the declaring file).
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const std::string_view type : kUnorderedTypes) {
+      for (std::size_t pos = find_identifier(lines[i].code, type); pos != std::string_view::npos;
+           pos = find_identifier(lines[i].code, type, pos + 1)) {
+        // Join ahead so multi-line template argument lists still parse.
+        const std::string decl = joined_code(lines, i, 6);
+        const std::size_t at = find_identifier(decl, type);
+        if (at == std::string_view::npos) continue;
+        std::size_t open = at + type.size();
+        while (open < decl.size() && std::isspace(static_cast<unsigned char>(decl[open])) != 0)
+          ++open;
+        if (open >= decl.size() || decl[open] != '<') continue;
+        std::size_t after = skip_angles(decl, open);
+        if (after == std::string_view::npos) continue;
+        // Skip refs/pointers/cv noise between the type and the name.
+        while (after < decl.size()) {
+          const char ch = decl[after];
+          if (std::isspace(static_cast<unsigned char>(ch)) != 0 || ch == '&' || ch == '*') {
+            ++after;
+          } else if (matches_identifier_at(decl, after, "const")) {
+            after += 5;
+          } else {
+            break;
+          }
+        }
+        std::size_t end = after;
+        while (end < decl.size() && is_ident_char(decl[end])) ++end;
+        if (end > after) {
+          s.unordered_names.emplace_back(decl.substr(after, end - after));
+        }
+        break;  // one declaration per matched type occurrence is enough
+      }
+    }
+  }
+
+  // HERMES_SHARD_OWNED annotations: the tagged member declaration names a
+  // per-shard container whose subscripts need shard provenance.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view ctext = trim(lines[i].comment);
+    constexpr std::string_view kTag = "HERMES_SHARD_OWNED";
+    const bool tagged = ctext.rfind(kTag, 0) == 0 &&
+                        (ctext.size() == kTag.size() || !is_ident_char(ctext[kTag.size()]));
+    if (!tagged) continue;
+    const std::size_t target = directive_target(lines, i);
+    const std::string decl = joined_code(lines, target, 4);
+    const std::size_t semi = decl.find(';');
+    if (semi == std::string::npos) continue;
+    std::size_t e = semi;
+    while (e > 0 && !is_ident_char(decl[e - 1])) --e;
+    const std::string_view name = ident_before(decl, e);
+    if (!name.empty() && std::isdigit(static_cast<unsigned char>(name.front())) == 0) {
+      s.shard_owned.emplace_back(name);
+    }
+  }
+
+  s.symbols = exported_symbols(path, lines);
+  return s;
+}
+
+GlobalContext Linter::build_context(const std::vector<const FileSummary*>& summaries,
+                                    std::string today) {
+  GlobalContext ctx;
+  ctx.today = std::move(today);
+  // Deterministic regardless of discovery order: fold by sorted path.
+  std::vector<const FileSummary*> sorted = summaries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FileSummary* a, const FileSummary* b) { return a->path < b->path; });
+  std::set<std::string> unordered;
+  std::set<std::string> owned;
+  for (const FileSummary* s : sorted) {
+    unordered.insert(s->unordered_names.begin(), s->unordered_names.end());
+    owned.insert(s->shard_owned.begin(), s->shard_owned.end());
+    if (s->symbols.empty()) continue;
+    const std::string header = include_path_of(s->path);
+    if (header.empty()) continue;
+    for (const SymbolDef& d : s->symbols) {
+      // First writer (lexicographically smallest path) wins on conflicts.
+      ctx.symbol_headers.emplace(d.ns + "::" + d.name, header);
+    }
+  }
+  ctx.unordered_names.assign(unordered.begin(), unordered.end());
+  ctx.shard_owned.assign(owned.begin(), owned.end());
+  return ctx;
+}
+
+LintResult Linter::run() const {
+  std::vector<const FileSummary*> sums;
+  sums.reserve(files_.size());
+  for (const File& f : files_) sums.push_back(&f.summary);
+  const GlobalContext ctx = build_context(sums, today_);
+  LintResult out;
+  out.files_scanned = static_cast<int>(files_.size());
+  for (const File& f : files_) {
+    lint_file(f.path, f.lines, f.summary, ctx, out);
+  }
+  sort_result(out);
+  return out;
+}
+
+void sort_result(LintResult& out) {
+  std::sort(out.findings.begin(), out.findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  std::sort(out.suppressed.begin(), out.suppressed.end(),
+            [](const Suppression& a, const Suppression& b) {
+              return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+            });
+}
+
+void Linter::lint_file(const std::string& path, const std::vector<Line>& lines,
+                       const FileSummary& summary, const GlobalContext& ctx, LintResult& out) {
+  std::vector<Finding> meta;
+  const Directives dir = parse_directives(path, lines, ctx.today, meta);
+  for (Finding& m : meta) out.findings.push_back(std::move(m));
+  const std::vector<char> hot = tag_mask(lines, "HERMES_HOT", /*file_scope=*/true);
+  const std::vector<char> pod = tag_mask(lines, "HERMES_POD_RECORD", /*file_scope=*/false);
+  const std::vector<char> sharded = tag_mask(lines, "HERMES_SHARDED", /*file_scope=*/true);
+  const bool hot_file = std::any_of(hot.begin(), hot.end(), [](char h) { return h != 0; });
+  const bool sharded_any =
+      std::any_of(sharded.begin(), sharded.end(), [](char s) { return s != 0; });
+  const std::vector<std::string> shard_ptrs =
+      sharded_any ? boundary_pointer_names(lines) : std::vector<std::string>{};
+
+  // Routes a raw finding through the suppression table.
+  auto emit = [&](std::string_view rule, std::size_t line0, std::string message) {
+    const auto it = dir.allow.find(line0);
+    if (it != dir.allow.end() && it->second.find(rule) != it->second.end()) {
+      const auto reason = dir.allow_reason.find(line0);
+      const auto expires = dir.allow_expires.find(line0);
+      out.suppressed.push_back({path, static_cast<int>(line0 + 1), std::string(rule),
+                                reason != dir.allow_reason.end() ? reason->second : "",
+                                expires != dir.allow_expires.end() ? expires->second : ""});
+      return;
+    }
+    out.findings.push_back({path, static_cast<int>(line0 + 1), std::string(rule),
+                            std::move(message),
+                            line0 < lines.size() ? std::string(trim(lines[line0].raw)) : ""});
+  };
+
+  const std::vector<std::pair<std::string, std::size_t>> includes_at = include_targets(lines);
+  std::set<std::string, std::less<>> includes;
+  for (const auto& [inc, line0] : includes_at) includes.insert(inc);
+
+  // ---- arch.layering ----
+  // Cross-TU: the file's module may only include hermes headers of
+  // strictly lower rank (or its own module). Computed from the include
+  // graph, not a hand-curated map.
+  const int my_rank = layer_rank(summary.module);
+  if (!summary.module.empty() && my_rank >= 0) {
+    for (const auto& [inc, line0] : includes_at) {
+      const std::string target = module_of_include(inc);
+      if (target.empty() || target == summary.module) continue;
+      const int target_rank = layer_rank(target);
+      if (target_rank < 0 || target_rank < my_rank) continue;
+      std::string msg = "layering violation: module '" + summary.module + "' (rank " +
+                        std::to_string(my_rank) + ") must not include \"" + inc +
+                        "\" (module '" + target + "', rank " + std::to_string(target_rank) +
+                        "); edges point strictly down-rank";
+      const std::vector<std::string> legal = legal_path(target, summary.module);
+      if (!legal.empty()) {
+        msg += " — the legal direction is ";
+        for (std::size_t k = 0; k < legal.size(); ++k) {
+          if (k > 0) msg += " -> ";
+          msg += legal[k];
+        }
+        msg += "; invert the dependency or move the shared piece below rank " +
+               std::to_string(my_rank);
+      } else {
+        msg += " — same-rank modules are siblings; factor the shared piece into a lower "
+               "layer instead of coupling them";
+      }
+      emit(kArchLayering, line0, std::move(msg));
+    }
   }
 
   std::set<std::string, std::less<>> reported_symbols;
@@ -691,45 +855,12 @@ void Linter::lint_file(const File& f, LintResult& out) const {
       if (classic || colon == std::string::npos || hclose == std::string::npos) continue;
       const std::string name = range_expr_name(std::string_view(head).substr(colon + 1, hclose - colon - 1));
       if (!name.empty() &&
-          std::find(unordered_names_.begin(), unordered_names_.end(), name) !=
-              unordered_names_.end()) {
+          std::find(ctx.unordered_names.begin(), ctx.unordered_names.end(), name) !=
+              ctx.unordered_names.end()) {
         emit(kDetUnorderedIter, i,
              "range-for over unordered container '" + name +
                  "' leaks hash order; iterate sorted keys (or a sorted snapshot) "
                  "before feeding results");
-      }
-    }
-
-    // ---- sim.shard-boundary ----
-    // A dereference is `name->` or `(*name)` where `name` was declared a
-    // Port*/Host* in this file. The declaration itself (`Port* p`) is not
-    // a dereference: a `*` preceded by an identifier is a declarator.
-    if (sharded[i] != 0) {
-      for (const std::string& name : shard_ptrs) {
-        for (std::size_t pos = find_identifier(code, name); pos != std::string_view::npos;
-             pos = find_identifier(code, name, pos + 1)) {
-          std::size_t after = pos + name.size();
-          while (after < code.size() && std::isspace(static_cast<unsigned char>(code[after])) != 0)
-            ++after;
-          const bool arrow =
-              after + 1 < code.size() && code[after] == '-' && code[after + 1] == '>';
-          std::size_t before = pos;
-          while (before > 0 && std::isspace(static_cast<unsigned char>(code[before - 1])) != 0)
-            --before;
-          bool star = false;
-          if (before > 0 && code[before - 1] == '*') {
-            std::size_t q = before - 1;
-            while (q > 0 && std::isspace(static_cast<unsigned char>(code[q - 1])) != 0) --q;
-            star = q == 0 || !is_ident_char(code[q - 1]);
-          }
-          if (arrow || star) {
-            emit(kSimShardBoundary, i,
-                 "direct dereference of Port/Host pointer '" + name +
-                     "' in a HERMES_SHARDED region; cross-shard state moves through the "
-                     "mailbox API only (Outbox::push at emit time, inbox delivery inside "
-                     "the owning shard)");
-          }
-        }
       }
     }
 
@@ -793,7 +924,7 @@ void Linter::lint_file(const File& f, LintResult& out) const {
     }
 
     // ---- header.using-namespace ----
-    if (f.is_header) {
+    if (summary.is_header) {
       for (std::size_t pos = find_identifier(code, "using"); pos != std::string_view::npos;
            pos = find_identifier(code, "using", pos + 1)) {
         std::size_t next = pos + 5;
@@ -821,7 +952,7 @@ void Linter::lint_file(const File& f, LintResult& out) const {
       }
     }
 
-    // ---- header.direct-include ----
+    // ---- header.direct-include (std:: symbols) ----
     for (std::size_t pos = code.find("std::"); pos != std::string::npos;
          pos = code.find("std::", pos + 1)) {
       if (pos > 0 && (is_ident_char(code[pos - 1]) || code[pos - 1] == ':')) continue;
@@ -836,57 +967,43 @@ void Linter::lint_file(const File& f, LintResult& out) const {
       }
     }
 
-    // ---- header.direct-include (obs:: symbols) ----
-    for (std::size_t pos = code.find("obs::"); pos != std::string::npos;
-         pos = code.find("obs::", pos + 1)) {
-      if (pos > 0) {
-        const char prev = code[pos - 1];
-        if (is_ident_char(prev)) continue;
-        if (prev == ':') {
-          // Accept hermes::obs:: only; some_other_ns::obs:: is not ours.
-          if (pos < 2 || code[pos - 2] != ':' || ident_before(code, pos - 2) != "hermes") {
-            continue;
+    // ---- header.direct-include (indexed hermes namespaces) ----
+    // The symbol index is computed from the lexed tree (exported_symbols
+    // over every header), not hand-curated: any namespace-scope symbol of
+    // an indexed namespace resolves to the header that defines it.
+    for (const NsScope& ns : kIndexedNs) {
+      const std::string pat = std::string(ns.tail) + "::";
+      for (std::size_t pos = code.find(pat); pos != std::string::npos;
+           pos = code.find(pat, pos + 1)) {
+        if (pos > 0) {
+          const char prev = code[pos - 1];
+          if (is_ident_char(prev)) continue;
+          if (prev == ':') {
+            // Accept only <parent>::<tail>:: — some_other_ns::obs:: is not ours.
+            if (pos < 2 || code[pos - 2] != ':' || ident_before(code, pos - 2) != ns.parent) {
+              continue;
+            }
           }
         }
-      }
-      for (const SymbolHeader& sh : kObsSymbolHeaders) {
-        if (!matches_identifier_at(code, pos + 5, sh.symbol)) continue;
-        if (includes.find(sh.header) != includes.end()) continue;
-        const std::string key = std::string(sh.symbol);
-        if (!reported_symbols.insert(key).second) continue;
+        std::size_t b = pos + pat.size();
+        std::size_t e = b;
+        while (e < code.size() && is_ident_char(code[e])) ++e;
+        if (e == b) continue;
+        const std::string sym = code.substr(b, e - b);
+        const auto it = ctx.symbol_headers.find(std::string(ns.tail) + "::" + sym);
+        if (it == ctx.symbol_headers.end()) continue;
+        if (includes.find(it->second) != includes.end()) continue;
+        if (include_path_of(path) == it->second) continue;  // the defining header itself
+        if (!reported_symbols.insert(std::string(ns.tail) + "::" + sym).second) continue;
         emit(kHdrDirectInclude, i,
-             "obs::" + key + " needs a direct #include \"" + std::string(sh.header) +
-                 "\" (transitive includes are not guaranteed)");
-      }
-    }
-
-    // ---- header.direct-include (faults::fuzz:: symbols) ----
-    for (std::size_t pos = code.find("fuzz::"); pos != std::string::npos;
-         pos = code.find("fuzz::", pos + 1)) {
-      if (pos > 0) {
-        const char prev = code[pos - 1];
-        if (is_ident_char(prev)) continue;
-        if (prev == ':') {
-          // Accept faults::fuzz:: / hermes::faults::fuzz:: only.
-          if (pos < 2 || code[pos - 2] != ':' || ident_before(code, pos - 2) != "faults") {
-            continue;
-          }
-        }
-      }
-      for (const SymbolHeader& sh : kFuzzSymbolHeaders) {
-        if (!matches_identifier_at(code, pos + 6, sh.symbol)) continue;
-        if (includes.find(sh.header) != includes.end()) continue;
-        const std::string key = std::string(sh.symbol);
-        if (!reported_symbols.insert(key).second) continue;
-        emit(kHdrDirectInclude, i,
-             "fuzz::" + key + " needs a direct #include \"" + std::string(sh.header) +
+             std::string(ns.tail) + "::" + sym + " needs a direct #include \"" + it->second +
                  "\" (transitive includes are not guaranteed)");
       }
     }
   }
 
   // ---- header.pragma-once ----
-  if (f.is_header) {
+  if (summary.is_header) {
     std::size_t first = lines.size();
     for (std::size_t i = 0; i < lines.size(); ++i) {
       if (!is_blank(lines[i].code)) {
@@ -900,12 +1017,38 @@ void Linter::lint_file(const File& f, LintResult& out) const {
            "header must start with #pragma once");
     }
   }
+
+  // ---- dataflow rules: sim.shard-race / core.arena-lifetime /
+  // ---- sim.float-order ----
+  // One per-function token CFG serves all three analyses.
+  const std::vector<Function> functions = extract_functions(lines);
+  for (const Function& fn : functions) {
+    check_arena_lifetime(fn, sharded, [&](int line0, const std::string& msg) {
+      emit(kCoreArenaLifetime, static_cast<std::size_t>(line0), msg);
+    });
+    check_shard_indexing(fn, ctx.shard_owned, [&](int line0, const std::string& msg) {
+      emit(kSimShardRace, static_cast<std::size_t>(line0), msg);
+    });
+    if (sharded_any) {
+      check_shard_ptr_escape(fn, sharded, shard_ptrs, [&](int line0, const std::string& msg) {
+        emit(kSimShardRace, static_cast<std::size_t>(line0), msg);
+      });
+    }
+    check_float_order(fn, ctx.unordered_names, [&](int line0, const std::string& msg) {
+      emit(kSimFloatOrder, static_cast<std::size_t>(line0), msg);
+    });
+  }
 }
 
-std::string to_json(const LintResult& r) {
-  std::string s = "{\n  \"tool\": \"hermeslint\",\n  \"schema_version\": 1,\n";
+std::string to_json(const LintResult& r, const LintTiming* timing) {
+  std::string s = "{\n  \"tool\": \"hermeslint\",\n  \"schema_version\": 2,\n";
   s += "  \"files_scanned\": " + std::to_string(r.files_scanned) + ",\n";
   s += "  \"clean\": " + std::string(r.findings.empty() ? "true" : "false") + ",\n";
+  if (timing != nullptr) {
+    s += "  \"timing\": {\"wall_ms\": " + std::to_string(timing->wall_ms) +
+         ", \"files_reused\": " + std::to_string(timing->files_reused) +
+         ", \"files_linted\": " + std::to_string(timing->files_linted) + "},\n";
+  }
   s += "  \"findings\": [";
   for (std::size_t i = 0; i < r.findings.size(); ++i) {
     const Finding& f = r.findings[i];
@@ -921,7 +1064,7 @@ std::string to_json(const LintResult& r) {
     s += i == 0 ? "\n" : ",\n";
     s += "    {\"file\": \"" + json_escape(sp.file) + "\", \"line\": " + std::to_string(sp.line) +
          ", \"rule\": \"" + json_escape(sp.rule) + "\", \"reason\": \"" + json_escape(sp.reason) +
-         "\"}";
+         "\", \"expires\": \"" + json_escape(sp.expires) + "\"}";
   }
   s += r.suppressed.empty() ? "]\n}\n" : "\n  ]\n}\n";
   return s;

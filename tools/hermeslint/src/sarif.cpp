@@ -1,0 +1,132 @@
+#include "hermes/lint/sarif.hpp"
+
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes::lint {
+
+namespace {
+
+std::string esc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Result paths are repo-relative; strip any leading "./".
+std::string_view rel(std::string_view path) {
+  while (path.rfind("./", 0) == 0) path.remove_prefix(2);
+  return path;
+}
+
+void append_location(std::string& out, std::string_view file, int line) {
+  out += R"("locations": [{"physicalLocation": {"artifactLocation": {"uri": ")";
+  out += esc(rel(file));
+  out += R"(", "uriBaseId": "SRCROOT"}, "region": {"startLine": )";
+  out += std::to_string(line > 0 ? line : 1);
+  out += "}}}]";
+}
+
+}  // namespace
+
+std::string to_sarif(const LintResult& result) {
+  // Rule index: catalogue order, which is also the order of the SARIF
+  // rules array — ruleIndex in each result points back into it.
+  std::map<std::string, int, std::less<>> rule_index;
+  const std::vector<RuleInfo>& catalogue = rule_catalogue();
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    rule_index.emplace(std::string(catalogue[i].id), static_cast<int>(i));
+  }
+
+  std::string out;
+  out.reserve(4096);
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+      "sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\n"
+      "      \"name\": \"hermeslint\",\n"
+      "      \"version\": \"2.0.0\",\n"
+      "      \"informationUri\": \"https://example.invalid/hermes/DESIGN.md\",\n"
+      "      \"rules\": [\n";
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    out += R"(        {"id": ")";
+    out += esc(catalogue[i].id);
+    out += R"(", "shortDescription": {"text": ")";
+    out += esc(catalogue[i].summary);
+    out += R"("}, "defaultConfiguration": {"level": "error"}})";
+    out += i + 1 < catalogue.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }},\n"
+      "    \"originalUriBaseIds\": {\"SRCROOT\": {\"uri\": \"file:///./\"}},\n"
+      "    \"results\": [\n";
+
+  bool first = true;
+  const auto emit = [&](std::string_view file, int line, std::string_view rule,
+                        std::string_view message, bool suppressed, std::string_view reason) {
+    if (!first) out += ",\n";
+    first = false;
+    out += R"(      {"ruleId": ")";
+    out += esc(rule);
+    const auto it = rule_index.find(rule);
+    if (it != rule_index.end()) {
+      out += R"(", "ruleIndex": )";
+      out += std::to_string(it->second);
+      out += R"(, "level": "error", "message": {"text": ")";
+    } else {
+      out += R"(", "level": "error", "message": {"text": ")";
+    }
+    out += esc(message);
+    out += R"("}, )";
+    append_location(out, file, line);
+    if (suppressed) {
+      out += R"(, "suppressions": [{"kind": "inSource", "justification": ")";
+      out += esc(reason);
+      out += R"("}])";
+    }
+    out += "}";
+  };
+
+  for (const Finding& f : result.findings) {
+    emit(f.file, f.line, f.rule, f.message, /*suppressed=*/false, {});
+  }
+  for (const Suppression& s : result.suppressed) {
+    emit(s.file, s.line, s.rule, "suppressed in source: " + s.reason, /*suppressed=*/true,
+         s.reason);
+  }
+
+  out +=
+      "\n    ]\n"
+      "  }]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace hermes::lint

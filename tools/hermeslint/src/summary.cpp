@@ -1,0 +1,41 @@
+#include "hermes/lint/summary.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hermes::lint {
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t GlobalContext::hash() const {
+  std::uint64_t h = fnv1a("hermeslint-global-v2");
+  for (const std::string& n : unordered_names) {
+    h = fnv1a(n, h);
+    h = fnv1a("\x1f", h);
+  }
+  h = fnv1a("\x1e", h);
+  for (const std::string& n : shard_owned) {
+    h = fnv1a(n, h);
+    h = fnv1a("\x1f", h);
+  }
+  h = fnv1a("\x1e", h);
+  for (const auto& [sym, header] : symbol_headers) {
+    h = fnv1a(sym, h);
+    h = fnv1a("\x1f", h);
+    h = fnv1a(header, h);
+    h = fnv1a("\x1f", h);
+  }
+  h = fnv1a("\x1e", h);
+  h = fnv1a(today, h);
+  return h;
+}
+
+}  // namespace hermes::lint

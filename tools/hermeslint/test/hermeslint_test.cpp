@@ -1,7 +1,10 @@
-// Fixture-driven tests for hermeslint: each rule must catch its seeded
-// violation, stay quiet on the clean twin, honor suppressions, and emit
-// the documented JSON schema.
+// Fixture-driven tests for hermeslint v2: each rule must catch its
+// seeded violation, stay quiet on the clean twin, honor suppressions
+// (including expiry), keep the incremental cache honest, and emit the
+// documented JSON and SARIF shapes.
 #include <algorithm>
+#include <cstddef>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -10,23 +13,33 @@
 
 #include <gtest/gtest.h>
 
+#include "hermes/lint/cache.hpp"
+#include "hermes/lint/dataflow.hpp"
+#include "hermes/lint/driver.hpp"
+#include "hermes/lint/graph.hpp"
 #include "hermes/lint/lexer.hpp"
 #include "hermes/lint/linter.hpp"
+#include "hermes/lint/sarif.hpp"
 
 namespace {
+
+namespace fs = std::filesystem;
 
 using hermes::lint::Lexer;
 using hermes::lint::Line;
 using hermes::lint::Linter;
 using hermes::lint::LintResult;
 
-std::string read_fixture(const std::string& name) {
-  const std::string path = std::string(HERMESLINT_FIXTURE_DIR) + "/" + name;
+std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  EXPECT_TRUE(in.good()) << "missing file " << path;
   std::ostringstream ss;
   ss << in.rdbuf();
   return std::move(ss).str();
+}
+
+std::string read_fixture(const std::string& name) {
+  return read_file(std::string(HERMESLINT_FIXTURE_DIR) + "/" + name);
 }
 
 /// Lints one fixture in isolation (fresh Linter, so unordered-container
@@ -40,6 +53,13 @@ LintResult lint_fixture(const std::string& name) {
 int count_rule(const LintResult& r, const std::string& rule) {
   return static_cast<int>(std::count_if(r.findings.begin(), r.findings.end(),
                                         [&](const auto& f) { return f.rule == rule; }));
+}
+
+void write_file(const fs::path& path, const std::string& body) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
 }
 
 // ---------------------------------------------------------------------- lexer
@@ -219,24 +239,26 @@ TEST(HermeslintRules, PodRecordQuietOnCleanTwin) {
   EXPECT_TRUE(r.findings.empty()) << to_json(r);
 }
 
-TEST(HermeslintRules, ShardBoundaryCatchesPortHostDerefInTaggedRegion) {
-  const LintResult r = lint_fixture("shard_boundary_bad.cpp");
+// ------------------------------------------------------------ sim.shard-race
+
+TEST(HermeslintRules, ShardRaceEscapeCatchesPortHostDerefInTaggedRegion) {
+  const LintResult r = lint_fixture("shard_race_escape_bad.cpp");
   // remote_port-> (x2), (*remote_host). — all inside the tagged region.
-  EXPECT_EQ(count_rule(r, "sim.shard-boundary"), 3) << to_json(r);
+  EXPECT_EQ(count_rule(r, "sim.shard-race"), 3) << to_json(r);
   // The untagged local_touch() dereference must NOT be flagged.
   const bool cold_flagged =
       std::any_of(r.findings.begin(), r.findings.end(), [](const auto& f) {
-        return f.rule == "sim.shard-boundary" && f.line > 18;
+        return f.rule == "sim.shard-race" && f.line > 18;
       });
   EXPECT_FALSE(cold_flagged) << to_json(r);
 }
 
-TEST(HermeslintRules, ShardBoundaryQuietOnMailboxTwin) {
-  const LintResult r = lint_fixture("shard_boundary_clean.cpp");
-  EXPECT_EQ(count_rule(r, "sim.shard-boundary"), 0) << to_json(r);
+TEST(HermeslintRules, ShardRaceEscapeQuietOnMailboxTwin) {
+  const LintResult r = lint_fixture("shard_race_escape_clean.cpp");
+  EXPECT_EQ(count_rule(r, "sim.shard-race"), 0) << to_json(r);
 }
 
-TEST(HermeslintRules, ShardBoundaryIgnoresDeclarations) {
+TEST(HermeslintRules, ShardRaceIgnoresDeclarations) {
   Linter linter;
   linter.add_file("decl.cpp",
                   "struct Port { int d; };\n"
@@ -246,15 +268,97 @@ TEST(HermeslintRules, ShardBoundaryIgnoresDeclarations) {
                   "  (void)p;\n"
                   "}\n");
   const LintResult r = linter.run();
-  EXPECT_EQ(count_rule(r, "sim.shard-boundary"), 0) << to_json(r);
+  EXPECT_EQ(count_rule(r, "sim.shard-race"), 0) << to_json(r);
 }
 
-TEST(HermeslintRules, ObsSymbolsNeedDirectIncludes) {
+TEST(HermeslintRules, ShardRaceIndexingNeedsProvenance) {
+  const LintResult r = lint_fixture("shard_race_index_bad.cpp");
+  // absorb(flow_id) + the literal-bound loop; the two provenanced
+  // accesses stay quiet.
+  EXPECT_EQ(count_rule(r, "sim.shard-race"), 2) << to_json(r);
+  for (const auto& f : r.findings) {
+    if (f.rule != "sim.shard-race") continue;
+    EXPECT_NE(f.message.find("HERMES_SHARD_OWNED"), std::string::npos) << f.message;
+  }
+}
+
+TEST(HermeslintRules, ShardRaceIndexingQuietOnProvenancedTwin) {
+  const LintResult r = lint_fixture("shard_race_index_clean.cpp");
+  EXPECT_EQ(count_rule(r, "sim.shard-race"), 0) << to_json(r);
+}
+
+// -------------------------------------------------------- core.arena-lifetime
+
+TEST(HermeslintRules, ArenaLifetimeCatchesUseAfterFreeAndBarrierCaching) {
+  const LintResult r = lint_fixture("arena_lifetime_bad.cpp");
+  // alias-after-free + handle-after-reset + push_back cache + member
+  // assignment cache.
+  EXPECT_EQ(count_rule(r, "core.arena-lifetime"), 4) << to_json(r);
+}
+
+TEST(HermeslintRules, ArenaLifetimeQuietOnCleanTwin) {
+  const LintResult r = lint_fixture("arena_lifetime_clean.cpp");
+  EXPECT_EQ(count_rule(r, "core.arena-lifetime"), 0) << to_json(r);
+}
+
+// ------------------------------------------------------------ sim.float-order
+
+TEST(HermeslintRules, FloatOrderCatchesHashOrderAccumulation) {
+  const LintResult r = lint_fixture("float_order_bad.cpp");
+  // += in the range-for + std::accumulate with a floating seed.
+  EXPECT_EQ(count_rule(r, "sim.float-order"), 2) << to_json(r);
+}
+
+TEST(HermeslintRules, FloatOrderQuietOnSortedTwin) {
+  const LintResult r = lint_fixture("float_order_clean.cpp");
+  EXPECT_EQ(count_rule(r, "sim.float-order"), 0) << to_json(r);
+}
+
+// ------------------------------------------------------------- arch.layering
+
+TEST(HermeslintRules, LayeringFlagsUpRankInclude) {
   Linter linter;
+  linter.add_file("src/net/layering_bad.cpp", read_fixture("layering_bad.cpp"));
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "arch.layering"), 1) << to_json(r);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_NE(r.findings[0].message.find("'net'"), std::string::npos) << r.findings[0].message;
+  EXPECT_NE(r.findings[0].message.find("'harness'"), std::string::npos)
+      << r.findings[0].message;
+}
+
+TEST(HermeslintRules, LayeringQuietOnDownRankIncludes) {
+  Linter linter;
+  linter.add_file("src/net/layering_clean.cpp", read_fixture("layering_clean.cpp"));
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "arch.layering"), 0) << to_json(r);
+}
+
+TEST(HermeslintRules, LayeringNamesTheLegalDirection) {
+  Linter linter;
+  linter.add_file("src/net/bad_edge.cpp", "#include \"hermes/lb/letflow.hpp\"\nint x;\n");
+  const LintResult r = linter.run();
+  ASSERT_EQ(count_rule(r, "arch.layering"), 1) << to_json(r);
+  // net (1) -> lb (2) is illegal; the legal direction is lb -> net.
+  EXPECT_NE(r.findings[0].message.find("lb -> net"), std::string::npos)
+      << r.findings[0].message;
+}
+
+// ------------------------------------------------------- computed symbol index
+
+TEST(HermeslintRules, ObsSymbolsNeedDirectIncludes) {
+  // The index is computed from the lexed headers added to the run, not a
+  // hand-curated table: FlightRecorder and MetricsRegistry resolve to the
+  // headers that define them.
+  Linter linter;
+  linter.add_file("src/obs/include/hermes/obs/flight_recorder.hpp",
+                  "#pragma once\nnamespace hermes::obs {\nclass FlightRecorder {};\n}\n");
+  linter.add_file("src/obs/include/hermes/obs/metrics.hpp",
+                  "#pragma once\nnamespace hermes::obs {\nclass MetricsRegistry {};\n}\n");
   linter.add_file("user.hpp",
                   "#pragma once\n#include \"hermes/obs/flight_recorder.hpp\"\n"
                   "struct S {\n"
-                  "  obs::FlightRecorder* rec = nullptr;\n"        // included: quiet
+                  "  obs::FlightRecorder* rec = nullptr;\n"          // included: quiet
                   "  void wire(hermes::obs::MetricsRegistry& m);\n"  // missing metrics.hpp
                   "};\n");
   const LintResult r = linter.run();
@@ -264,11 +368,104 @@ TEST(HermeslintRules, ObsSymbolsNeedDirectIncludes) {
       << to_json(r);
 }
 
+TEST(HermeslintRules, DefiningHeaderDoesNotNeedItsOwnInclude) {
+  Linter linter;
+  linter.add_file("src/obs/include/hermes/obs/metrics.hpp",
+                  "#pragma once\nnamespace hermes::obs {\nclass MetricsRegistry {};\n"
+                  "inline obs::MetricsRegistry* self();\n}\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "header.direct-include"), 0) << to_json(r);
+}
+
 TEST(HermeslintRules, UsingNamespaceAllowedInSourceFiles) {
   Linter linter;
   linter.add_file("impl.cpp", "#include <vector>\nusing namespace std;\nvector<int> v;\n");
   const LintResult r = linter.run();
   EXPECT_EQ(count_rule(r, "header.using-namespace"), 0) << to_json(r);
+}
+
+// ----------------------------------------------------------------- graph unit
+
+TEST(HermeslintGraph, ModuleOfPathAndRanks) {
+  using hermes::lint::layer_rank;
+  using hermes::lint::module_of_path;
+  EXPECT_EQ(module_of_path("src/net/port.cpp"), "net");
+  EXPECT_EQ(module_of_path("src/harness/include/hermes/harness/scenario.hpp"), "harness");
+  EXPECT_EQ(module_of_path("tools/hermeslint/src/linter.cpp"), "lint");
+  EXPECT_EQ(module_of_path("tools/hermesfuzz/main.cpp"), "tools");
+  EXPECT_EQ(module_of_path("bench/bench_core_micro.cpp"), "bench");
+  EXPECT_EQ(module_of_path("random/other.cpp"), "");
+  EXPECT_LT(layer_rank("sim"), layer_rank("net"));
+  EXPECT_LT(layer_rank("net"), layer_rank("lb"));
+  EXPECT_LT(layer_rank("lb"), layer_rank("core"));
+  EXPECT_LT(layer_rank("core"), layer_rank("stats"));
+  EXPECT_LT(layer_rank("stats"), layer_rank("harness"));
+  EXPECT_LT(layer_rank("harness"), layer_rank("bench"));
+  EXPECT_EQ(layer_rank("nonexistent"), -1);
+}
+
+TEST(HermeslintGraph, LegalPathDescendsInRank) {
+  using hermes::lint::legal_path;
+  const auto p = legal_path("harness", "net");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], "harness");
+  EXPECT_EQ(p[1], "net");
+  EXPECT_TRUE(legal_path("net", "lb").empty());   // would ascend
+  EXPECT_TRUE(legal_path("sim", "obs").empty());  // same rank
+}
+
+TEST(HermeslintGraph, ExportedSymbolsAndIncludePaths) {
+  const auto lines = Lexer::scan(
+      "#pragma once\n"
+      "namespace hermes::obs {\n"
+      "class FlightRecorder { public: void dump(); };\n"
+      "struct TraceRecord { int id; };\n"
+      "using RecordId = unsigned;\n"
+      "}\n");
+  const auto syms =
+      hermes::lint::exported_symbols("src/obs/include/hermes/obs/flight_recorder.hpp", lines);
+  std::set<std::string> names;
+  for (const auto& s : syms) names.insert(s.ns + "::" + s.name);
+  EXPECT_TRUE(names.count("obs::FlightRecorder")) << to_json(LintResult{});
+  EXPECT_TRUE(names.count("obs::TraceRecord"));
+  EXPECT_TRUE(names.count("obs::RecordId"));
+  // Class members must not be exported.
+  EXPECT_FALSE(names.count("obs::dump"));
+  EXPECT_EQ(hermes::lint::include_path_of("src/obs/include/hermes/obs/flight_recorder.hpp"),
+            "hermes/obs/flight_recorder.hpp");
+  EXPECT_EQ(hermes::lint::include_path_of("src/obs/flight_recorder.cpp"), "");
+}
+
+// -------------------------------------------------------------- dataflow unit
+
+TEST(HermeslintDataflow, ExtractFunctionsFindsBodiesAndMethods) {
+  const auto lines = Lexer::scan(
+      "int free_fn(int a) {\n  return a + 1;\n}\n"
+      "struct S {\n"
+      "  int method() { return 2; }\n"
+      "};\n");
+  const auto fns = hermes::lint::extract_functions(lines);
+  std::set<std::string> names;
+  for (const auto& f : fns) names.insert(f.name);
+  EXPECT_TRUE(names.count("free_fn"));
+  EXPECT_TRUE(names.count("method"));
+}
+
+TEST(HermeslintDataflow, ShardProvenanceFollowsDefChainNotNames) {
+  const auto lines = Lexer::scan(
+      "void f(int shard_in) {\n"
+      "  int x = shard_in * 2;\n"
+      "  int y = 7;\n"
+      "  int shard = 0;\n"  // shard-named but locally defined as a constant
+      "}\n");
+  const auto fns = hermes::lint::extract_functions(lines);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(hermes::lint::has_shard_provenance(fns[0], "x"));
+  EXPECT_FALSE(hermes::lint::has_shard_provenance(fns[0], "y"));
+  // A local def of `shard = 0` proves nothing, name notwithstanding.
+  EXPECT_FALSE(hermes::lint::has_shard_provenance(fns[0], "shard"));
+  // An undefined (parameter) name that names the shard is accepted.
+  EXPECT_TRUE(hermes::lint::has_shard_provenance(fns[0], "shard_in"));
 }
 
 // -------------------------------------------------------------- suppressions
@@ -304,17 +501,87 @@ TEST(HermeslintSuppression, SameLineAndPrecedingLineBothWork) {
   EXPECT_EQ(r.suppressed.size(), 2u);
 }
 
+TEST(HermeslintSuppression, ProseMentionOfToolNameIsNotADirective) {
+  Linter linter;
+  linter.add_file("p.cpp", "// notes for hermeslint: each rule has a fixture\nint x = 1;\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "meta.suppression"), 0) << to_json(r);
+}
+
+TEST(HermeslintSuppression, DuplicateAllowIsAFinding) {
+  Linter linter;
+  linter.add_file("d.cpp",
+                  "#include <cstdlib>\n"
+                  "// hermeslint:allow(determinism.rand) first reason\n"
+                  "// hermeslint:allow(determinism.rand) second reason, same target\n"
+                  "int a = rand();\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "meta.suppression"), 1) << to_json(r);
+  EXPECT_EQ(count_rule(r, "determinism.rand"), 0) << to_json(r);
+}
+
+TEST(HermeslintSuppression, FutureExpiryIsRecordedOnTheSuppression) {
+  Linter linter;
+  linter.set_today("2026-08-09");
+  linter.add_file("e.cpp",
+                  "#include <cstdlib>\n"
+                  "// hermeslint:allow(determinism.rand) legacy seed path, "
+                  "expires(2099-01-01)\n"
+                  "int a = rand();\n");
+  const LintResult r = linter.run();
+  EXPECT_TRUE(r.findings.empty()) << to_json(r);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].expires, "2099-01-01");
+}
+
+TEST(HermeslintSuppression, ExpiredAllowIsAFinding) {
+  Linter linter;
+  linter.set_today("2026-08-09");
+  linter.add_file("e.cpp",
+                  "#include <cstdlib>\n"
+                  "// hermeslint:allow(determinism.rand) temporary shim, expires(2024-01-01)\n"
+                  "int a = rand();\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "meta.suppression"), 1) << to_json(r);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_NE(r.findings[0].message.find("expired"), std::string::npos) << to_json(r);
+}
+
+TEST(HermeslintSuppression, MalformedExpiryIsAFinding) {
+  Linter linter;
+  linter.set_today("2026-08-09");
+  linter.add_file("e.cpp",
+                  "#include <cstdlib>\n"
+                  "// hermeslint:allow(determinism.rand) shim, expires(01/02/2026)\n"
+                  "int a = rand();\n");
+  const LintResult r = linter.run();
+  EXPECT_EQ(count_rule(r, "meta.suppression"), 1) << to_json(r);
+}
+
 // ---------------------------------------------------------------------- JSON
 
 TEST(HermeslintJson, SchemaFieldsPresent) {
   const LintResult r = lint_fixture("hdr_bad.hpp");
   const std::string j = to_json(r);
   for (const char* key :
-       {"\"tool\": \"hermeslint\"", "\"schema_version\": 1", "\"files_scanned\": 1",
+       {"\"tool\": \"hermeslint\"", "\"schema_version\": 2", "\"files_scanned\": 1",
         "\"clean\": false", "\"findings\": [", "\"suppressed\": [", "\"file\": ", "\"line\": ",
         "\"rule\": ", "\"message\": ", "\"snippet\": "}) {
     EXPECT_NE(j.find(key), std::string::npos) << "missing " << key << " in\n" << j;
   }
+}
+
+TEST(HermeslintJson, TimingBlockPresentWhenProvided) {
+  const LintResult r = lint_fixture("hdr_clean.hpp");
+  hermes::lint::LintTiming t;
+  t.wall_ms = 12.5;
+  t.files_reused = 3;
+  t.files_linted = 4;
+  const std::string j = to_json(r, &t);
+  EXPECT_NE(j.find("\"timing\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"files_reused\": 3"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"files_linted\": 4"), std::string::npos) << j;
+  EXPECT_EQ(to_json(r).find("\"timing\""), std::string::npos);
 }
 
 TEST(HermeslintJson, CleanResultSaysClean) {
@@ -332,6 +599,216 @@ TEST(HermeslintJson, EscapesQuotesAndBackslashes) {
   EXPECT_NE(j.find("msg with \\\\ and \\\"quote\\\""), std::string::npos) << j;
 }
 
+// --------------------------------------------------------------------- SARIF
+
+TEST(HermeslintSarif, ShapeMatchesCodeScanningExpectations) {
+  LintResult r;
+  r.findings.push_back({"src/net/port.cpp", 42, "sim.shard-race", "boom", "snippet"});
+  r.files_scanned = 1;
+  const std::string s = hermes::lint::to_sarif(r);
+  for (const char* key :
+       {"\"$schema\"", "sarif-schema-2.1.0.json", "\"version\": \"2.1.0\"", "\"runs\"",
+        "\"driver\"", "\"name\": \"hermeslint\"", "\"rules\"", "\"ruleId\": \"sim.shard-race\"",
+        "\"ruleIndex\"", "\"level\": \"error\"", "\"physicalLocation\"",
+        "\"uri\": \"src/net/port.cpp\"", "\"startLine\": 42", "\"uriBaseId\": \"SRCROOT\""}) {
+    EXPECT_NE(s.find(key), std::string::npos) << "missing " << key << " in\n" << s;
+  }
+  // Every catalogue rule is described, findings or not.
+  for (const auto& rule : hermes::lint::rule_catalogue()) {
+    EXPECT_NE(s.find("\"id\": \"" + std::string(rule.id) + "\""), std::string::npos)
+        << rule.id;
+  }
+}
+
+TEST(HermeslintSarif, SuppressionsCarryInSourceKind) {
+  LintResult r;
+  r.suppressed.push_back(
+      {"bench/b.cpp", 7, "determinism.clock", "bench measures wall time", ""});
+  const std::string s = hermes::lint::to_sarif(r);
+  EXPECT_NE(s.find("\"suppressions\""), std::string::npos) << s;
+  EXPECT_NE(s.find("\"kind\": \"inSource\""), std::string::npos) << s;
+  EXPECT_NE(s.find("bench measures wall time"), std::string::npos) << s;
+}
+
+// --------------------------------------------------------------- cache/driver
+
+TEST(HermeslintCache, RoundTripsAndRejectsMalformed) {
+  namespace hl = hermes::lint;
+  const fs::path dir = fs::temp_directory_path() / "hermeslint_cache_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "cache.txt").string();
+
+  hl::Cache c;
+  c.global_hash = 0xabcdef0123456789ULL;
+  c.rules_version = 42;
+  hl::CachedFile f;
+  f.content_hash = 7;
+  f.summary.path = "a|b.cpp";  // exercises field escaping
+  f.summary.module = "net";
+  f.summary.is_header = false;
+  f.summary.includes = {"vector"};
+  f.summary.unordered_names = {"m_"};
+  f.summary.shard_owned = {"states_"};
+  f.summary.symbols = {{"obs", "FlightRecorder"}};
+  f.findings.push_back({"a|b.cpp", 3, "determinism.rand", "msg\nline2", "snip"});
+  f.suppressions.push_back({"a|b.cpp", 9, "determinism.clock", "why", "2099-01-01"});
+  c.files["a|b.cpp"] = f;
+  ASSERT_TRUE(hl::save_cache(path, c));
+
+  const hl::Cache r = hl::load_cache(path);
+  EXPECT_EQ(r.global_hash, c.global_hash);
+  EXPECT_EQ(r.rules_version, c.rules_version);
+  ASSERT_EQ(r.files.size(), 1u);
+  const hl::CachedFile& g = r.files.at("a|b.cpp");
+  EXPECT_EQ(g.content_hash, 7u);
+  EXPECT_EQ(g.summary.module, "net");
+  ASSERT_EQ(g.summary.symbols.size(), 1u);
+  EXPECT_EQ(g.summary.symbols[0].name, "FlightRecorder");
+  ASSERT_EQ(g.findings.size(), 1u);
+  EXPECT_EQ(g.findings[0].message, "msg\nline2");
+  ASSERT_EQ(g.suppressions.size(), 1u);
+  EXPECT_EQ(g.suppressions[0].expires, "2099-01-01");
+
+  // Any malformation discards the whole cache.
+  std::ofstream(path, std::ios::app) << "garbage record here\n";
+  EXPECT_TRUE(hl::load_cache(path).files.empty());
+  EXPECT_TRUE(hl::load_cache((dir / "missing.txt").string()).files.empty());
+}
+
+TEST(HermeslintDriver, WarmRunReusesCacheAndInvalidatesOnEdit) {
+  namespace hl = hermes::lint;
+  const fs::path root = fs::temp_directory_path() / "hermeslint_drive_test";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  write_file(root / "a.cpp", "#include <cstdlib>\nint a = rand();\n");
+
+  hl::DriveOptions o;
+  o.root = root.string();
+  o.paths = {"a.cpp"};
+  o.cache_path = (root / "lint.cache").string();
+
+  const hl::DriveResult r1 = hl::drive(o);
+  EXPECT_EQ(r1.timing.files_linted, 1);
+  EXPECT_EQ(r1.timing.files_reused, 0);
+  EXPECT_EQ(count_rule(r1.result, "determinism.rand"), 1) << to_json(r1.result);
+
+  const hl::DriveResult r2 = hl::drive(o);
+  EXPECT_EQ(r2.timing.files_linted, 0);
+  EXPECT_EQ(r2.timing.files_reused, 1);
+  EXPECT_EQ(count_rule(r2.result, "determinism.rand"), 1) << to_json(r2.result);
+
+  write_file(root / "a.cpp", "int a = 4;\n");
+  const hl::DriveResult r3 = hl::drive(o);
+  EXPECT_EQ(r3.timing.files_linted, 1);
+  EXPECT_EQ(r3.timing.files_reused, 0);
+  EXPECT_TRUE(r3.result.findings.empty()) << to_json(r3.result);
+  fs::remove_all(root);
+}
+
+TEST(HermeslintDriver, CrossFileContextChangeInvalidatesUntouchedFiles) {
+  namespace hl = hermes::lint;
+  const fs::path root = fs::temp_directory_path() / "hermeslint_ctx_test";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  // a.cpp iterates a container whose declaration does not exist yet.
+  write_file(root / "a.cpp",
+             "struct H;\n"
+             "int go(const H& h);\n"
+             "template <typename H2>\n"
+             "int sum(const H2& h) {\n"
+             "  int s = 0;\n"
+             "  for (const auto& kv : h.weird_) {\n"
+             "    s += kv.second;\n"
+             "  }\n"
+             "  return s;\n"
+             "}\n");
+
+  hl::DriveOptions o;
+  o.root = root.string();
+  o.paths = {"."};
+  o.cache_path = (root / "lint.cache").string();
+
+  const hl::DriveResult r1 = hl::drive(o);
+  EXPECT_EQ(count_rule(r1.result, "determinism.unordered-iter"), 0) << to_json(r1.result);
+
+  // Introduce the declaration in a *different* file: a.cpp is untouched
+  // but its cached findings are now stale (the global context changed).
+  write_file(root / "b.hpp",
+             "#pragma once\n#include <unordered_map>\n"
+             "struct H { std::unordered_map<int, int> weird_; };\n");
+  const hl::DriveResult r2 = hl::drive(o);
+  EXPECT_EQ(count_rule(r2.result, "determinism.unordered-iter"), 1) << to_json(r2.result);
+  EXPECT_EQ(r2.timing.files_reused, 0) << "context change must re-lint everything";
+  fs::remove_all(root);
+}
+
+// ------------------------------------------------------------ guard mutations
+
+namespace mutation {
+
+std::string src_file(const std::string& rel) {
+  return read_file(std::string(HERMESLINT_SOURCE_ROOT) + "/" + rel);
+}
+
+LintResult lint_real_shard_sources(const std::string& cpp_content) {
+  Linter linter;
+  linter.add_file("src/harness/include/hermes/harness/sharded_scenario.hpp",
+                  src_file("src/harness/include/hermes/harness/sharded_scenario.hpp"));
+  linter.add_file("src/net/include/hermes/net/fattree.hpp",
+                  src_file("src/net/include/hermes/net/fattree.hpp"));
+  linter.add_file("src/harness/sharded_scenario.cpp", cpp_content);
+  return linter.run();
+}
+
+std::string replace_all(std::string text, const std::string& from, const std::string& to,
+                        int* count) {
+  *count = 0;
+  for (std::size_t pos = text.find(from); pos != std::string::npos;
+       pos = text.find(from, pos + to.size())) {
+    text.replace(pos, from.size(), to);
+    ++*count;
+  }
+  return text;
+}
+
+}  // namespace mutation
+
+TEST(HermeslintGuardMutation, RealShardSourcesAreCleanAtBaseline) {
+  const std::string cpp = mutation::src_file("src/harness/sharded_scenario.cpp");
+  const LintResult r = mutation::lint_real_shard_sources(cpp);
+  EXPECT_EQ(count_rule(r, "sim.shard-race"), 0) << to_json(r);
+  EXPECT_EQ(count_rule(r, "core.arena-lifetime"), 0) << to_json(r);
+}
+
+TEST(HermeslintGuardMutation, DroppingShardOfHostRoutingIsCaught) {
+  const std::string cpp = mutation::src_file("src/harness/sharded_scenario.cpp");
+  int n = 0;
+  const std::string mutated = mutation::replace_all(
+      cpp, "const int shard = fabric_->shard_of_host(f.src);", "const int shard = 0;", &n);
+  ASSERT_GE(n, 1) << "guard site moved; update the mutation";
+  const LintResult r = mutation::lint_real_shard_sources(mutated);
+  EXPECT_GE(count_rule(r, "sim.shard-race"), 1) << to_json(r);
+}
+
+TEST(HermeslintGuardMutation, ReplacingNumShardsBoundIsCaught) {
+  const std::string cpp = mutation::src_file("src/harness/sharded_scenario.cpp");
+  int n = 0;
+  const std::string mutated = mutation::replace_all(cpp, "s < num_shards()", "s < 4", &n);
+  ASSERT_GE(n, 1) << "guard site moved; update the mutation";
+  const LintResult r = mutation::lint_real_shard_sources(mutated);
+  EXPECT_GE(count_rule(r, "sim.shard-race"), 1) << to_json(r);
+}
+
+TEST(HermeslintGuardMutation, HardcodingShardStateIndexIsCaught) {
+  const std::string cpp = mutation::src_file("src/harness/sharded_scenario.cpp");
+  int n = 0;
+  const std::string mutated = mutation::replace_all(
+      cpp, "shard_states_[static_cast<std::size_t>(shard)]", "shard_states_[0]", &n);
+  ASSERT_GE(n, 1) << "guard site moved; update the mutation";
+  const LintResult r = mutation::lint_real_shard_sources(mutated);
+  EXPECT_GE(count_rule(r, "sim.shard-race"), 1) << to_json(r);
+}
+
 // ------------------------------------------------------------------ catalogue
 
 TEST(HermeslintCatalogue, KnownRulesRoundTrip) {
@@ -340,6 +817,12 @@ TEST(HermeslintCatalogue, KnownRulesRoundTrip) {
   }
   EXPECT_FALSE(hermes::lint::is_known_rule("no.such.rule"));
   EXPECT_FALSE(hermes::lint::is_known_rule(""));
+  EXPECT_FALSE(hermes::lint::is_known_rule("sim.shard-boundary")) << "superseded in v2";
+  EXPECT_TRUE(hermes::lint::is_known_rule("sim.shard-race"));
+  EXPECT_TRUE(hermes::lint::is_known_rule("core.arena-lifetime"));
+  EXPECT_TRUE(hermes::lint::is_known_rule("sim.float-order"));
+  EXPECT_TRUE(hermes::lint::is_known_rule("arch.layering"));
+  EXPECT_NE(hermes::lint::rules_version(), 0u);
 }
 
 }  // namespace
