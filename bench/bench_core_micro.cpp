@@ -31,6 +31,10 @@
 #include <malloc.h>
 #endif
 
+#include "hermes/engine/config.hpp"
+#include "hermes/engine/decision.hpp"
+#include "hermes/engine/engine.hpp"
+#include "hermes/engine/time.hpp"
 #include "hermes/harness/scenario.hpp"
 #include "hermes/net/dre.hpp"
 #include "hermes/net/topology.hpp"
@@ -350,6 +354,72 @@ bool bench_obs_pipeline() {
   return ok;
 }
 
+/// The extracted decision engine's hot path: Algorithm 2 per-packet
+/// decisions over an 8-path group pair with mixed sensed conditions
+/// (good / gray / congested) and a 64-flow working set alternating
+/// established forwarding with fresh placements. decide() is tagged
+/// HERMES_HOT and must be *literally* allocation-free in steady state —
+/// the PathSet is sized by the embedder up front, candidate scans are
+/// in-place, and the tie-break RNG draws from preallocated state. Like
+/// the recorder-append claim this is asserted as a number.
+bool bench_engine_decide(int n) {
+  engine::Config cfg;
+  cfg.t_rtt_low = engine::usec(60);
+  cfg.t_rtt_high = engine::usec(180);
+  cfg.delta_rtt = engine::usec(80);
+  cfg.reroute_rate_limit_bps = 1e12;  // rate gate open: scans always run
+  engine::Engine eng{cfg, 2, /*rng_seed=*/42};
+  eng.path_set(0, 1).ensure(8);
+  // Sensed mix: paths 0-3 good, 4-5 unsampled gray, 6-7 congested.
+  for (int rep = 0; rep < 200; ++rep) {
+    for (int li = 0; li < 4; ++li) eng.on_ack(0, 1, li, 1, 2, true, engine::usec(35 + li), false);
+    for (int li = 6; li < 8; ++li) eng.on_ack(0, 1, li, 1, 2, true, engine::usec(250), true);
+  }
+
+  engine::FlowView flows[64];
+  for (int i = 0; i < 64; ++i) {
+    flows[i].flow_id = static_cast<std::uint64_t>(i + 1);
+    flows[i].src = 1;
+    flows[i].dst = 2;
+    flows[i].src_group = 0;
+    flows[i].dst_group = 1;
+    flows[i].bytes_sent = 1 << 20;  // past S: the reroute gates engage
+  }
+  engine::TimeNs t = 0;
+  const auto step = [&](int i) {
+    engine::FlowView& f = flows[i & 63];
+    t += 120;
+    if ((i & 1023) == 0) f.has_sent = false;  // periodic fresh placement
+    const int chosen = eng.decide(f, 1500, t);
+    f.cur_local = chosen;
+    f.has_sent = true;
+    g_sink += static_cast<std::uint64_t>(chosen);
+  };
+  for (int i = 0; i < n / 10; ++i) step(i);  // warm every branch once
+
+  const auto allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < n; ++i) step(i);
+  const double dt = seconds_since(t0);
+  const auto allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+
+  record("engine_decide", "decisions_per_sec", n / dt);
+  record("engine_decide", "ns_per_decision", dt * 1e9 / n);
+  record("engine_decide", "allocs_per_decision_steady",
+         static_cast<double>(allocs) / n);
+  std::printf("engine_decide      %12.0f decisions/s  %6.1f ns/decision  %" PRIu64
+              " allocs (must be 0)\n",
+              n / dt, dt * 1e9 / n, allocs);
+  if (allocs != 0) {
+    std::fprintf(stderr, "FAIL: engine decide() heap-allocated %" PRIu64
+                         " time(s) over %d decisions — the HERMES_HOT "
+                         "allocation-free contract regressed\n",
+                 allocs, n);
+    return false;
+  }
+  return true;
+}
+
 void bench_dre(int n) {
   net::Dre dre{sim::usec(50), 0.1};
   sim::SimTime t{};
@@ -440,6 +510,7 @@ int main(int argc, char** argv) {
   bool ok = bench_packet_pipeline_steady(smoke ? 2 : 30);
   ok = bench_recorder_append(smoke ? 10'000 : 5'000'000) && ok;
   ok = bench_obs_pipeline() && ok;
+  ok = bench_engine_decide(smoke ? 20'000 : 5'000'000) && ok;
   bench_dre(smoke ? 10'000 : 20'000'000);
   bench_route(smoke ? 10'000 : 10'000'000);
   write_json(json_path, smoke);

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
             // Derive defaults, then scale T_RTT_high and Delta_RTT by 1.5.
             sim::Simulator probe{1};
             net::Topology tp{probe, cfg.topo};
-            auto d = core::HermesConfig::defaults_for(tp);
+            auto d = lb::HermesConfig::defaults_for(tp);
             cfg.hermes.t_rtt_low = d.t_rtt_low;
             cfg.hermes.t_rtt_high =
                 sim::SimTime::nanoseconds(d.t_rtt_high.ns() * 3 / 2);

@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "hermes/core/path_state.hpp"
+#include "hermes/engine/path_state.hpp"
 #include "hermes/faults/fault_plan.hpp"
 #include "hermes/faults/fault_scheduler.hpp"
 #include "hermes/harness/scenario.hpp"
@@ -91,7 +91,8 @@ int main() {
         // can linger on pairs that saw no traffic after the heal).
         if (p.spine == 5 && s.hermes()
                                 ->path_state(a, b, p.local_index)
-                                .failed_active(s.simulator().now(), s.hermes()->config()))
+                                .failed_active(s.simulator().now().ns(),
+                                               s.hermes()->engine().config()))
           ++drop_latched;
       }
     }

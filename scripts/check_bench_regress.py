@@ -9,9 +9,12 @@ packet pipeline regresses:
     (the arena/ring pipeline's steady state allocates nothing per packet;
     bench_core_micro also asserts this internally — the check here catches
     a stale binary or a tampered JSON as well), and
-  * packet_pipeline_10mb.packets_per_sec must not drop more than 50%
-    below the committed baseline, judged on the better of the raw ratio
-    and a machine-speed-normalized ratio.
+  * engine_decide.allocs_per_decision_steady must stay <= 0.01 (the
+    extracted decision engine's HERMES_HOT decide() path is
+    allocation-free; the binary asserts literal zero internally), and
+  * packet_pipeline_10mb.packets_per_sec and engine_decide.decisions_per_sec
+    must not drop more than 50% below the committed baseline, judged on
+    the better of the raw ratio and a machine-speed-normalized ratio.
 
 The alloc budget is the hard invariant: allocation counts are
 deterministic, so any nonzero drift there is a real regression. The
@@ -160,6 +163,42 @@ def main(argv):
             f"steady-state pipeline allocates {allocs:.4f} per packet "
             f"(budget {ALLOC_BUDGET}) — the zero-alloc arena path regressed"
         )
+
+    eng_allocs = metric(current, "engine_decide", "allocs_per_decision_steady")
+    if eng_allocs is None:
+        failures.append(
+            "current run has no engine_decide.allocs_per_decision_steady "
+            "metric — bench binary predates the engine extraction?"
+        )
+    elif eng_allocs > ALLOC_BUDGET:
+        failures.append(
+            f"engine decide() allocates {eng_allocs:.4f} per decision "
+            f"(budget {ALLOC_BUDGET}) — the HERMES_HOT allocation-free "
+            "decision path regressed"
+        )
+
+    base_dps = metric(baseline, "engine_decide", "decisions_per_sec")
+    cur_dps = metric(current, "engine_decide", "decisions_per_sec")
+    if base_dps and cur_dps:
+        raw_d = cur_dps / base_dps
+        base_dre_c = metric(baseline, "dre_add_read", "ns_per_op")
+        cur_dre_c = metric(current, "dre_add_read", "ns_per_op")
+        norm_d = raw_d * (cur_dre_c / base_dre_c) if base_dre_c and cur_dre_c else raw_d
+        if max(raw_d, norm_d) < 1.0 - MAX_REGRESSION:
+            failures.append(
+                f"engine_decide throughput {cur_dps:,.0f} decisions/s is "
+                f"{100 * (1 - raw_d):.1f}% below the committed baseline "
+                f"{base_dps:,.0f} even after machine-speed normalization "
+                f"({100 * (1 - norm_d):.1f}% below; max allowed "
+                f"{100 * MAX_REGRESSION:.0f}%)"
+            )
+        else:
+            print(
+                f"perf guard: engine_decide {cur_dps:,.0f} decisions/s vs "
+                f"baseline {base_dps:,.0f} (raw {100 * (raw_d - 1):+.1f}%), "
+                f"steady allocs/decision "
+                f"{eng_allocs if eng_allocs is not None else float('nan'):.4f}"
+            )
 
     base_pps = metric(baseline, "packet_pipeline_10mb", "packets_per_sec")
     cur_pps = metric(current, "packet_pipeline_10mb", "packets_per_sec")

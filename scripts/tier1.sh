@@ -17,9 +17,10 @@
 #      opt out explicitly with HERMES_TIER1_TIDY=0.
 #   4. Release (-O2, NDEBUG) build + `bench_core_micro --smoke`, proving
 #      the perf-measurement path itself stays alive, followed by the
-#      perf-regression guard: steady-state allocs/packet must stay
-#      <= 0.01 and packet_pipeline_10mb throughput within 50% of the
-#      committed BENCH_core.json baseline (full numbers live there; see
+#      perf-regression guard: steady-state allocs/packet and engine
+#      allocs/decision must stay <= 0.01, and packet_pipeline_10mb /
+#      engine_decide throughput within 50% of the committed
+#      BENCH_core.json baseline (full numbers live there; see
 #      EXPERIMENTS.md).
 #   5. Sharded smoke: bench_ext_fattree_scale --smoke runs a k=4
 #      fat-tree under the sharded executor at 1 and 2 threads, asserts
@@ -28,10 +29,14 @@
 #   6. Fuzz smoke: 25 seeds through hermesfuzz. The nightly workflow
 #      (fuzz.yml) runs thousands; this is the per-change canary that the
 #      fuzz loop itself still works and the first seeds stay clean.
-#   7. TSan build (HERMES_SANITIZE=thread) running the parallel-runner,
-#      determinism, and sharded-executor tests — every threaded path
-#      must be race-free. Skip with HERMES_TIER1_TSAN=0 (e.g. on
-#      machines without TSan).
+#   7. hermesd smoke: the standalone decision daemon (links only
+#      hermes::engine) replays both shipped traces end-to-end — the
+#      fig17 blackhole trace additionally paced at 10x wall-clock —
+#      with every `expect` assertion holding.
+#   8. TSan build (HERMES_SANITIZE=thread) running the parallel-runner,
+#      determinism, sharded-executor, and engine conformance/determinism
+#      tests — every threaded path must be race-free. Skip with
+#      HERMES_TIER1_TSAN=0 (e.g. on machines without TSan).
 #
 # Usage: scripts/tier1.sh  (from the repo root; build dirs are reused)
 set -euo pipefail
@@ -39,12 +44,12 @@ cd "$(dirname "$0")/.."
 
 JOBS="${HERMES_TIER1_JOBS:-$(nproc)}"
 
-echo "== [1/7] build (-Werror) + ctest (RelWithDebInfo) =="
+echo "== [1/8] build (-Werror) + ctest (RelWithDebInfo) =="
 cmake -B build -S . -DHERMES_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/7] hermeslint (incremental, SARIF) =="
+echo "== [2/8] hermeslint (incremental, SARIF) =="
 ./build/tools/hermeslint/hermeslint --root=. \
   --cache=build/hermeslint.cache --threads="$JOBS" \
   --json=build/hermeslint.json --sarif=build/hermeslint.sarif \
@@ -52,38 +57,43 @@ echo "== [2/7] hermeslint (incremental, SARIF) =="
 python3 scripts/check_bench_regress.py BENCH_core.json build/hermeslint.json
 
 if [[ "${HERMES_TIER1_TIDY:-1}" != "1" ]]; then
-  echo "== [3/7] clang-tidy gated subset skipped (HERMES_TIER1_TIDY=0) =="
+  echo "== [3/8] clang-tidy gated subset skipped (HERMES_TIER1_TIDY=0) =="
 elif ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "== [3/7] clang-tidy gated subset skipped (binary not installed) =="
+  echo "== [3/8] clang-tidy gated subset skipped (binary not installed) =="
 else
-  echo "== [3/7] clang-tidy gated subset (WarningsAsErrors from .clang-tidy) =="
+  echo "== [3/8] clang-tidy gated subset (WarningsAsErrors from .clang-tidy) =="
   git ls-files 'src/**/*.cpp' | xargs -P "$JOBS" -n 4 clang-tidy -p build --quiet
 fi
 
-echo "== [4/7] Release build + bench_core_micro --smoke =="
+echo "== [4/8] Release build + bench_core_micro --smoke =="
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-rel -j "$JOBS" --target bench_core_micro
 (cd build-rel && ./bench/bench_core_micro --smoke --json=BENCH_core_smoke.json)
 python3 scripts/check_bench_regress.py BENCH_core.json build-rel/BENCH_core_smoke.json
 
-echo "== [5/7] sharded smoke (k=4 fat-tree, 1 vs 2 threads) =="
+echo "== [5/8] sharded smoke (k=4 fat-tree, 1 vs 2 threads) =="
 cmake --build build-rel -j "$JOBS" --target bench_ext_fattree_scale
 (cd build-rel && ./bench/bench_ext_fattree_scale --smoke --json=BENCH_fattree_smoke.json)
 python3 scripts/check_bench_regress.py BENCH_core.json build-rel/BENCH_fattree_smoke.json
 
-echo "== [6/7] fuzz smoke (25 seeds) =="
+echo "== [6/8] fuzz smoke (25 seeds) =="
 FUZZ_OUT="$(mktemp -d)"
 ./build/tools/hermesfuzz/hermesfuzz --seeds=25 --out="$FUZZ_OUT"
 rm -rf "$FUZZ_OUT"
 
+echo "== [7/8] hermesd trace replay smoke =="
+./build/tools/hermesd/hermesd tools/hermesd/traces/smoke.trace --speed=0
+./build/tools/hermesd/hermesd tools/hermesd/traces/fig17_blackhole.trace --speed=10 \
+  --json=build/hermesd_fig17.json
+
 if [[ "${HERMES_TIER1_TSAN:-1}" == "1" ]]; then
-  echo "== [7/7] TSan build + parallel/sharded tests =="
+  echo "== [8/8] TSan build + parallel/sharded/engine tests =="
   cmake -B build-tsan -S . -DHERMES_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target hermes_tests
   ./build-tsan/tests/hermes_tests \
-    --gtest_filter='ParallelRunner.*:Determinism.ParallelSweepIsByteIdenticalToSerial:Sharded.ThreadCountIsInvisible_Ecmp:Sharded.FaultTrainIsThreadCountInvisible'
+    --gtest_filter='ParallelRunner.*:Determinism.ParallelSweepIsByteIdenticalToSerial:Sharded.ThreadCountIsInvisible_Ecmp:Sharded.FaultTrainIsThreadCountInvisible:EngineConformance.*:EngineDeterminism.*'
 else
-  echo "== [7/7] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
+  echo "== [8/8] TSan stage skipped (HERMES_TIER1_TSAN=0) =="
 fi
 
 echo "tier-1: OK"

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hermes/engine/time.hpp"
+
+namespace hermes::engine {
+
+/// Why Hermes (re)placed a flow — Algorithm 2's branches plus the two
+/// failure-latch lifecycle events. Numeric values match
+/// obs::DecisionKind one to one so the simulator adapter can cast
+/// engine events straight into flight-recorder records.
+enum class DecisionKind : std::uint8_t {
+  kInitialPlacement = 0,   ///< line 3: first packet of a flow
+  kTimeoutEscape = 1,      ///< line 3: flow had an RTO, pick fresh
+  kFailureEscape = 2,      ///< line 3: current path latched failed
+  kCongestionReroute = 3,  ///< lines 14-22: notably-better reroute taken
+  kBlackholeLatch = 4,     ///< §3.1.2 detector latched (src,dst,path)
+  kLatchExpire = 5,        ///< a failure latch expired without re-confirmation
+};
+
+[[nodiscard]] constexpr const char* to_string(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::kInitialPlacement: return "initial-placement";
+    case DecisionKind::kTimeoutEscape: return "timeout-escape";
+    case DecisionKind::kFailureEscape: return "failure-escape";
+    case DecisionKind::kCongestionReroute: return "congestion-reroute";
+    case DecisionKind::kBlackholeLatch: return "blackhole-latch";
+    case DecisionKind::kLatchExpire: return "latch-expire";
+  }
+  return "?";
+}
+
+/// "No path condition" marker in DecisionEvent::from_cond/to_cond
+/// (matches obs::kPathCondNone; valid conditions are PathType casts).
+inline constexpr std::uint8_t kCondNone = 255;
+
+/// Always-on counters over Algorithm 2's decision branches and the
+/// blackhole detector's latch lifecycle.
+struct DecisionStats {
+  std::uint64_t initial_placements = 0;
+  std::uint64_t timeout_escapes = 0;
+  std::uint64_t failure_escapes = 0;
+  std::uint64_t congestion_reroutes = 0;
+  std::uint64_t blackhole_latches = 0;
+  std::uint64_t latch_expiries = 0;
+};
+
+/// The flow-scoped inputs Algorithm 2 reads, plus the flow flags it
+/// writes back (timeout acted upon, reroute cooldown). A plain view the
+/// embedder fills from its own flow bookkeeping before each engine call
+/// and copies the in/out fields back from afterwards — the engine holds
+/// no per-flow state of its own.
+struct FlowView {
+  std::uint64_t flow_id = 0;
+  std::int32_t src = -1;  ///< source endpoint id (blackhole detector key)
+  std::int32_t dst = -1;
+  int src_group = -1;     ///< source locality group (rack in the paper)
+  int dst_group = -1;
+  std::uint64_t bytes_sent = 0;  ///< S: cumulative bytes handed to the wire
+  int cur_local = -1;            ///< current path's local index, -1 = none
+  bool has_sent = false;
+  bool timeout_pending = false;  ///< in/out: cleared once acted upon
+  bool has_rerouted = false;     ///< in/out: reroute-cooldown flags
+  TimeNs last_reroute = 0;       ///< in/out
+
+  /// Lazy flow-rate estimate R (bits/s): evaluated only when a decision
+  /// actually needs it. A bare function pointer + context, not a
+  /// std::function — FlowView crosses the HERMES_HOT decide() boundary.
+  const void* rate_ctx = nullptr;
+  double (*rate_fn)(const void* ctx, TimeNs now) = nullptr;
+
+  [[nodiscard]] double rate_bps(TimeNs now) const {
+    return rate_fn != nullptr ? rate_fn(rate_ctx, now) : 0.0;
+  }
+};
+
+/// One Algorithm 2 decision (or latch transition) with the inputs that
+/// produced it: ΔRTT/ΔECN of the reroute comparison, the flow-status
+/// gates S and R, and the path-condition transition. has_flow is false
+/// for latch events that fired outside any flow's decision.
+struct DecisionEvent {
+  TimeNs time_ns = 0;
+  std::uint64_t flow_id = 0;
+  std::uint64_t sent_bytes = 0;            ///< S at decision time
+  double rate_bps = 0;                     ///< R at decision time
+  std::int64_t delta_rtt_ns = 0;           ///< current - chosen (reroutes only)
+  float delta_ecn = 0;
+  std::int16_t src_group = -1;
+  std::int16_t dst_group = -1;
+  std::int16_t from_path = -1;             ///< local index before (-1 = none)
+  std::int16_t to_path = -1;               ///< local index chosen (-1 = none)
+  DecisionKind kind = DecisionKind::kInitialPlacement;
+  std::uint8_t from_cond = kCondNone;      ///< PathType of from_path
+  std::uint8_t to_cond = kCondNone;        ///< PathType of to_path
+  bool has_flow = false;
+  std::uint64_t latch_lifetime_us = 0;     ///< kLatchExpire: latch age
+};
+
+/// Decision-stream consumer. The simulator adapter forwards events into
+/// the flight recorder and metrics; hermesd prints them. Implementations
+/// must not call back into the Engine.
+class DecisionSink {
+ public:
+  virtual void on_decision(const DecisionEvent& ev) = 0;
+
+ protected:
+  ~DecisionSink() = default;
+};
+
+}  // namespace hermes::engine

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hermes/engine/config.hpp"
+#include "hermes/engine/decision.hpp"
+#include "hermes/engine/host_set.hpp"
+#include "hermes/engine/path_state.hpp"
+#include "hermes/engine/rng.hpp"
+#include "hermes/engine/time.hpp"
+
+namespace hermes::engine {
+
+/// Hermes decision engine: comprehensive sensing + timely yet cautious
+/// rerouting (Algorithm 2), lifted out of any particular environment.
+///
+/// The engine knows only locality *groups* (racks in the paper, localities
+/// in a serving mesh) and, per ordered group pair, a PathSet of sensing
+/// slots. It never reads a clock, never touches a socket, and holds no
+/// per-flow state: every entry point takes `now` and a FlowView from the
+/// embedder. Three embedders exist in this repo — the simulator adapter
+/// (lb::HermesLb), the conformance suite, and the hermesd replay daemon.
+///
+/// On top of the paper's sensed path conditions the engine layers
+/// *declared* membership (HostSet): per-path weights and administrative
+/// health with an Envoy-style panic threshold. Under the default
+/// configuration — every path healthy at weight 1, the sim's world —
+/// these layers are arithmetic no-ops: selection consumes the RNG in
+/// exactly the order the pre-extraction simulator implementation did,
+/// which is what keeps the golden determinism hash unchanged.
+///
+/// Blackholes are detected per (source host, destination host) pair
+/// (§3.1.2), because a blackhole deterministically drops only packets
+/// matching certain header patterns; silent random drops are detected
+/// per path via the retransmission-rate epoch detector in PathState.
+class Engine {
+ public:
+  /// `num_groups` fixes the group-pair table; `rng_seed` seeds the
+  /// tie-break/fallback stream (sim adapters pass
+  /// Simulator::rng_seed(salt) to share the simulator's seed lattice).
+  Engine(Config config, int num_groups, std::uint64_t rng_seed);
+
+  // --- the decision path (HERMES_HOT, allocation-free) -------------------
+  /// Algorithm 2 for one outgoing packet of `flow`: returns the local
+  /// path index to transmit on (accounting the send on it), or -1 when
+  /// the pair has no paths. Mutates flow.timeout_pending /
+  /// has_rerouted / last_reroute; the embedder copies those back.
+  int decide(FlowView& flow, std::uint32_t bytes, TimeNs now);
+
+  // --- signal feeds ------------------------------------------------------
+  /// ACK observed for a (group pair, path): optional RTT sample plus the
+  /// flow-pair's blackhole-progress reset.
+  void on_ack(int src_group, int dst_group, int local_idx, std::int32_t flow_src,
+              std::int32_t flow_dst, bool has_rtt, TimeNs rtt, bool ecn_marked);
+  /// The flow's retransmission timer fired while on flow.cur_local.
+  void on_timeout(const FlowView& flow, TimeNs now);
+  /// A segment was retransmitted on this path.
+  void on_retransmit(int src_group, int dst_group, int local_idx, TimeNs now);
+  /// A probe reply measured this path (updates the probing "memory" best
+  /// index as well).
+  void feed_probe_sample(int src_group, int dst_group, int local_idx, TimeNs rtt,
+                         bool ecn_marked);
+
+  // --- membership --------------------------------------------------------
+  [[nodiscard]] PathSet& path_set(int src_group, int dst_group) {
+    return sets_[static_cast<std::size_t>(src_group) * static_cast<std::size_t>(num_groups_) +
+                 static_cast<std::size_t>(dst_group)];
+  }
+  [[nodiscard]] const PathSet& path_set(int src_group, int dst_group) const {
+    return sets_[static_cast<std::size_t>(src_group) * static_cast<std::size_t>(num_groups_) +
+                 static_cast<std::size_t>(dst_group)];
+  }
+  /// Push declared membership into a pair's PathSet: slot i backs
+  /// hosts.host(i). Slots whose backing host id changed are reset
+  /// (sensing state restarts); slots that kept their host retain RTT/ECN
+  /// estimates, rate and failure latches across weight/health updates.
+  void sync_pair(int src_group, int dst_group, const HostSet& hosts);
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] int num_groups() const { return num_groups_; }
+  [[nodiscard]] PathState& path_state(int src_group, int dst_group, int local_idx) {
+    return path_set(src_group, dst_group).state(static_cast<std::size_t>(local_idx));
+  }
+  [[nodiscard]] PathType path_type(int src_group, int dst_group, int local_idx) {
+    return path_state(src_group, dst_group, local_idx).characterize(config_);
+  }
+  /// Is the (src,dst,path) blackhole latch live right now? Const: stale
+  /// latches are reported expired without mutating detector state.
+  [[nodiscard]] bool blackholed(int src_group, int dst_group, std::int32_t src_host,
+                                std::int32_t dst_host, int local_idx, TimeNs now) const;
+  /// Number of distinct paths with at least one sample for a pair (the
+  /// "visibility" a sender has, Table 6).
+  [[nodiscard]] int sampled_paths(int src_group, int dst_group) const;
+  [[nodiscard]] int best_path(int src_group, int dst_group) const {
+    return path_set(src_group, dst_group).best_idx;
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const DecisionStats& stats() const { return stats_; }
+  /// The engine's RNG stream, exposed so the embedder's probing draws
+  /// from the same sequence the pre-extraction implementation did.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Attach (null detaches) the decision-stream consumer.
+  void set_sink(DecisionSink* sink) { sink_ = sink; }
+
+  [[nodiscard]] static std::uint64_t hole_key(std::int32_t src, std::int32_t dst, int idx) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 16) |
+           static_cast<std::uint32_t>(idx);
+  }
+
+ private:
+  /// Is the hole latch live (expiring it in place when stale)? `flow`
+  /// and `local_idx` locate the expiry for the decision stream.
+  [[nodiscard]] bool hole_active(HoleTrack& track, PathSet& ps, TimeNs now, const FlowView* flow,
+                                 int local_idx);
+  [[nodiscard]] bool failed_for_flow(PathSet& ps, const FlowView& flow, int local_idx,
+                                     TimeNs now);
+  /// Algorithm 2 lines 3-12: initial placement / failure escape.
+  int pick_fresh(PathSet& ps, const FlowView& flow, TimeNs now);
+  /// Algorithm 2 lines 14-23: cautious reroute off a congested path.
+  int pick_notably_better(PathSet& ps, const FlowView& flow, int cur_local, TimeNs now);
+  /// Argmin r_p over selectable paths of type `wanted` (weighted-random
+  /// among near-ties); `better_than` non-null restricts to paths notably
+  /// better than it (the reroute comparison).
+  int least_rate_path(PathSet& ps, const FlowView& flow, PathType wanted, int exclude_local,
+                      const PathState* better_than, bool panic, TimeNs now);
+  /// Weighted draw over every slot — the "must transmit somewhere" tail.
+  int pick_any(PathSet& ps);
+  [[nodiscard]] bool notably_better(const PathState& cur, const PathState& cand) const;
+  /// Administrative eligibility of a slot for the fallback placement:
+  /// weight > 0 and not declared unhealthy (any health in panic mode).
+  [[nodiscard]] static bool fallback_eligible(const PathSet::Slot& s, bool panic) {
+    return s.weight > 0 && (panic || s.health != Health::kUnhealthy);
+  }
+  void emit(DecisionKind kind, const FlowView* flow, PathSet& ps, int from_local, int to_local,
+            std::int64_t delta_rtt_ns, float delta_ecn, TimeNs now,
+            std::uint64_t latch_lifetime_us = 0);
+
+  Config config_;
+  Rng rng_;
+  int num_groups_;
+  std::vector<PathSet> sets_;
+  DecisionStats stats_;
+  DecisionSink* sink_ = nullptr;
+};
+
+}  // namespace hermes::engine

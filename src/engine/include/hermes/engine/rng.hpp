@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace hermes::engine {
+
+/// Deterministic random stream for the engine's tie-breaking and fallback
+/// placement. Construction and draw order replicate hermes::sim::Rng
+/// exactly (same generator, same distribution, same construction-time
+/// salt draw), so a simulator that seeds this with
+/// sim::Simulator::rng_seed(salt) gets draws bit-identical to a
+/// sim::Rng fork of the same salt — the property the golden determinism
+/// hash relies on across the engine extraction.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_{seed} {}
+
+  /// Uniform integer in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t next(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>{0, n - 1}(engine_);
+  }
+
+  /// Derive an independent child stream; stable for a given (seed, salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    return Rng{split_mix(state_salt_ ^ (salt * 0x9E3779B97F4A7C15ULL))};
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t split_mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+  std::mt19937_64 engine_;
+  // Drawn at construction exactly like sim::Rng does, so the generator
+  // state after construction — and therefore every subsequent next() —
+  // matches a sim::Rng built from the same seed.
+  std::uint64_t state_salt_ = engine_();
+};
+
+}  // namespace hermes::engine

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hermes::engine {
+
+/// Engine time: nanoseconds on a caller-supplied monotonic axis. The
+/// engine never reads a clock — every entry point takes `now` from the
+/// embedding environment (a discrete-event simulator, a serving daemon's
+/// steady clock, a replay harness), which is what makes decision
+/// sequences replayable bit for bit. A plain integer rather than a
+/// wrapper type: the engine sits below every other hermes module and must
+/// not force a time vocabulary on its hosts.
+using TimeNs = std::int64_t;
+
+[[nodiscard]] constexpr TimeNs nsec(std::int64_t v) { return v; }
+[[nodiscard]] constexpr TimeNs usec(std::int64_t v) { return v * 1'000; }
+[[nodiscard]] constexpr TimeNs msec(std::int64_t v) { return v * 1'000'000; }
+[[nodiscard]] constexpr TimeNs sec(std::int64_t v) { return v * 1'000'000'000; }
+
+[[nodiscard]] constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+
+}  // namespace hermes::engine

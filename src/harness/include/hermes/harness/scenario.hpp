@@ -8,7 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "hermes/core/hermes_lb.hpp"
+#include "hermes/lb/hermes.hpp"
 #include "hermes/faults/fault_plan.hpp"
 #include "hermes/faults/fault_scheduler.hpp"
 #include "hermes/faults/invariant_checker.hpp"
@@ -77,7 +77,7 @@ struct ScenarioConfig {
 
   // Scheme parameters; zero-valued Hermes RTT thresholds are derived from
   // the topology via HermesConfig::defaults_for.
-  core::HermesConfig hermes;
+  lb::HermesConfig hermes;
   lb::CongaConfig conga;
   lb::CloveConfig clove;
   lb::LetFlowConfig letflow;
@@ -134,7 +134,7 @@ class Scenario {
   [[nodiscard]] transport::HostStack& stack(int host_id) { return *stacks_[host_id]; }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   /// Non-null only when the scheme is Hermes.
-  [[nodiscard]] core::HermesLb* hermes() { return hermes_; }
+  [[nodiscard]] lb::HermesLb* hermes() { return hermes_; }
   /// Non-null only when the config carried a fault plan.
   [[nodiscard]] faults::FaultScheduler* fault_scheduler() { return fault_sched_.get(); }
   /// Non-null only when check_invariants was set.
@@ -200,7 +200,7 @@ class Scenario {
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<net::Topology> topo_;
   std::unique_ptr<lb::LoadBalancer> lb_;
-  core::HermesLb* hermes_ = nullptr;  // owned by lb_
+  lb::HermesLb* hermes_ = nullptr;  // owned by lb_
   std::vector<std::unique_ptr<transport::HostStack>> stacks_;
   std::unique_ptr<faults::InvariantChecker> checker_;
   std::unique_ptr<faults::FaultScheduler> fault_sched_;

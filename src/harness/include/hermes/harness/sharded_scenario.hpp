@@ -7,7 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "hermes/core/hermes_lb.hpp"
+#include "hermes/lb/hermes.hpp"
 #include "hermes/faults/fault_plan.hpp"
 #include "hermes/faults/fault_scheduler.hpp"
 #include "hermes/harness/scenario.hpp"
@@ -33,7 +33,7 @@ struct ShardedScenarioConfig {
   Scheme scheme = Scheme::kEcmp;
   transport::TcpConfig tcp;
 
-  core::HermesConfig hermes;
+  lb::HermesConfig hermes;
   lb::CloveConfig clove;
   lb::LetFlowConfig letflow;
   lb::FlowBenderConfig flowbender;
@@ -85,7 +85,7 @@ class ShardedScenario {
   [[nodiscard]] const ShardedScenarioConfig& config() const { return config_; }
   [[nodiscard]] transport::HostStack& stack(int host_id) { return *stacks_[host_id]; }
   /// The shard-local Hermes instance (null unless scheme is Hermes).
-  [[nodiscard]] core::HermesLb* hermes(int shard) { return hermes_[shard]; }
+  [[nodiscard]] lb::HermesLb* hermes(int shard) { return hermes_[shard]; }
 
   /// Schedule flows; each is owned by (scheduled on, completed in) the
   /// shard of its source host.
@@ -139,7 +139,7 @@ class ShardedScenario {
   // HERMES_SHARD_OWNED one balancer per shard
   std::vector<std::unique_ptr<lb::LoadBalancer>> lbs_;   ///< one per shard
   // HERMES_SHARD_OWNED shard-local Hermes instances (owned by lbs_)
-  std::vector<core::HermesLb*> hermes_;
+  std::vector<lb::HermesLb*> hermes_;
   std::vector<std::unique_ptr<transport::HostStack>> stacks_;  ///< per host
   // HERMES_SHARD_OWNED per-shard fault scheduler, may be null
   std::vector<std::unique_ptr<faults::FaultScheduler>> fault_scheds_;

@@ -191,15 +191,15 @@ void Scenario::build_balancer() {
       lb_ = std::make_unique<lb::DrillLb>(*simulator_, *topo_, config_.drill);
       break;
     case Scheme::kHermes: {
-      core::HermesConfig hc = config_.hermes;
+      lb::HermesConfig hc = config_.hermes;
       if (hc.t_rtt_low == sim::SimTime::zero() || hc.t_rtt_high == sim::SimTime::zero() ||
           hc.delta_rtt == sim::SimTime::zero()) {
-        const auto defaults = core::HermesConfig::defaults_for(*topo_);
+        const auto defaults = lb::HermesConfig::defaults_for(*topo_);
         if (hc.t_rtt_low == sim::SimTime::zero()) hc.t_rtt_low = defaults.t_rtt_low;
         if (hc.t_rtt_high == sim::SimTime::zero()) hc.t_rtt_high = defaults.t_rtt_high;
         if (hc.delta_rtt == sim::SimTime::zero()) hc.delta_rtt = defaults.delta_rtt;
       }
-      auto h = std::make_unique<core::HermesLb>(*simulator_, *topo_, hc);
+      auto h = std::make_unique<lb::HermesLb>(*simulator_, *topo_, hc);
       hermes_ = h.get();
       lb_ = std::move(h);
       break;

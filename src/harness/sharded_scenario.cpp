@@ -117,11 +117,11 @@ void ShardedScenario::build_balancers() {
   const int S = num_shards();
   lbs_.resize(static_cast<std::size_t>(S));
   hermes_.assign(static_cast<std::size_t>(S), nullptr);
-  core::HermesConfig hc = config_.hermes;
+  lb::HermesConfig hc = config_.hermes;
   if (config_.scheme == Scheme::kHermes &&
       (hc.t_rtt_low == sim::SimTime::zero() || hc.t_rtt_high == sim::SimTime::zero() ||
        hc.delta_rtt == sim::SimTime::zero())) {
-    const auto defaults = core::HermesConfig::defaults_for(*fabric_);
+    const auto defaults = lb::HermesConfig::defaults_for(*fabric_);
     if (hc.t_rtt_low == sim::SimTime::zero()) hc.t_rtt_low = defaults.t_rtt_low;
     if (hc.t_rtt_high == sim::SimTime::zero()) hc.t_rtt_high = defaults.t_rtt_high;
     if (hc.delta_rtt == sim::SimTime::zero()) hc.delta_rtt = defaults.delta_rtt;
@@ -156,7 +156,7 @@ void ShardedScenario::build_balancers() {
         lbs_[s] = std::make_unique<lb::FlowBenderLb>(*sims_[s], *fabric_, config_.flowbender);
         break;
       case Scheme::kHermes: {
-        auto h = std::make_unique<core::HermesLb>(*sims_[s], *fabric_, hc);
+        auto h = std::make_unique<lb::HermesLb>(*sims_[s], *fabric_, hc);
         hermes_[s] = h.get();
         lbs_[s] = std::move(h);
         break;
@@ -210,32 +210,32 @@ void ShardedScenario::wire_observability() {
   // Aggregated views: the registry keys one reader per name, so the
   // per-shard instances cannot each register — the harness sums them.
   if (config_.scheme == Scheme::kHermes) {
-    const auto dsum = [this](std::uint64_t core::DecisionStats::* f) {
+    const auto dsum = [this](std::uint64_t engine::DecisionStats::* f) {
       std::uint64_t total = 0;
-      for (const core::HermesLb* h : hermes_) total += h->decision_stats().*f;
+      for (const lb::HermesLb* h : hermes_) total += h->decision_stats().*f;
       return total;
     };
     metrics_.counter_fn("lb.initial_placements",
-                        [dsum] { return dsum(&core::DecisionStats::initial_placements); });
+                        [dsum] { return dsum(&engine::DecisionStats::initial_placements); });
     metrics_.counter_fn("lb.timeout_escapes",
-                        [dsum] { return dsum(&core::DecisionStats::timeout_escapes); });
+                        [dsum] { return dsum(&engine::DecisionStats::timeout_escapes); });
     metrics_.counter_fn("lb.failure_escapes",
-                        [dsum] { return dsum(&core::DecisionStats::failure_escapes); });
+                        [dsum] { return dsum(&engine::DecisionStats::failure_escapes); });
     metrics_.counter_fn("lb.congestion_reroutes",
-                        [dsum] { return dsum(&core::DecisionStats::congestion_reroutes); });
+                        [dsum] { return dsum(&engine::DecisionStats::congestion_reroutes); });
     metrics_.counter_fn("lb.blackhole_latches",
-                        [dsum] { return dsum(&core::DecisionStats::blackhole_latches); });
+                        [dsum] { return dsum(&engine::DecisionStats::blackhole_latches); });
     metrics_.counter_fn("lb.latch_expiries",
-                        [dsum] { return dsum(&core::DecisionStats::latch_expiries); });
-    const auto psum = [this](std::uint64_t core::ProbeStats::* f) {
+                        [dsum] { return dsum(&engine::DecisionStats::latch_expiries); });
+    const auto psum = [this](std::uint64_t lb::ProbeStats::* f) {
       std::uint64_t total = 0;
-      for (const core::HermesLb* h : hermes_) total += h->probe_stats().*f;
+      for (const lb::HermesLb* h : hermes_) total += h->probe_stats().*f;
       return total;
     };
-    metrics_.counter_fn("lb.probes_sent", [psum] { return psum(&core::ProbeStats::probes_sent); });
+    metrics_.counter_fn("lb.probes_sent", [psum] { return psum(&lb::ProbeStats::probes_sent); });
     metrics_.counter_fn("lb.probe_replies",
-                        [psum] { return psum(&core::ProbeStats::replies_received); });
-    metrics_.counter_fn("lb.probe_bytes", [psum] { return psum(&core::ProbeStats::probe_bytes); });
+                        [psum] { return psum(&lb::ProbeStats::replies_received); });
+    metrics_.counter_fn("lb.probe_bytes", [psum] { return psum(&lb::ProbeStats::probe_bytes); });
   }
   if (!fault_scheds_.empty()) {
     metrics_.counter_fn("faults.installed", [this] {

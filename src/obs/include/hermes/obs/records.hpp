@@ -63,7 +63,7 @@ enum class DecisionKind : std::uint8_t {
 }
 
 /// Path condition codes stored in decision records. Matches the paper's
-/// Algorithm 1 characterization; core::PathType casts to this 1:1
+/// Algorithm 1 characterization; engine::PathType casts to this 1:1
 /// (kGood=0, kGray=1, kCongested=2, kFailed=3). 255 = not applicable.
 inline constexpr std::uint8_t kPathCondNone = 255;
 

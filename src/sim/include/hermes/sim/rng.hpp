@@ -33,8 +33,13 @@ class Rng {
     return std::uniform_real_distribution<double>{0.0, 1.0}(engine_) < p;
   }
   /// Derive an independent child stream; stable for a given (seed, salt).
-  [[nodiscard]] Rng fork(std::uint64_t salt) {
-    return Rng{split_mix(state_salt_ ^ (salt * 0x9E3779B97F4A7C15ULL))};
+  [[nodiscard]] Rng fork(std::uint64_t salt) const { return Rng{fork_seed(salt)}; }
+
+  /// The 64-bit seed fork(salt) would construct its child from. Exposed so
+  /// sim-independent components (hermes::engine) can be seeded with the
+  /// exact stream a fork would produce, keeping refactors byte-identical.
+  [[nodiscard]] std::uint64_t fork_seed(std::uint64_t salt) const {
+    return split_mix(state_salt_ ^ (salt * 0x9E3779B97F4A7C15ULL));
   }
 
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }

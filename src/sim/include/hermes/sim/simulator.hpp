@@ -39,6 +39,12 @@ class Simulator {
 
   /// Independent deterministic random stream for a named component.
   [[nodiscard]] Rng rng_stream(std::uint64_t salt) { return master_.fork(salt); }
+  /// The seed rng_stream(salt) constructs its stream from — hand this to
+  /// sim-independent components (hermes::engine::Rng) so their draws match
+  /// a fork of the same salt bit for bit.
+  [[nodiscard]] std::uint64_t rng_seed(std::uint64_t salt) const {
+    return master_.fork_seed(salt);
+  }
 
  private:
   EventQueue queue_;

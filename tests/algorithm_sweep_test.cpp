@@ -10,23 +10,23 @@
 #include <string>
 #include <tuple>
 
-#include "hermes/core/config.hpp"
-#include "hermes/core/hermes_lb.hpp"
-#include "hermes/core/path_state.hpp"
+#include "hermes/engine/config.hpp"
+#include "hermes/engine/path_state.hpp"
 #include "hermes/harness/scenario.hpp"
+#include "hermes/lb/hermes.hpp"
 #include "hermes/lb/ecmp.hpp"
 #include "hermes/transport/tcp_sender.hpp"
 
-namespace hermes::core {
+namespace hermes::lb {
 namespace {
 
 using sim::usec;
 
-HermesConfig sweep_config() {
-  HermesConfig c;
+engine::Config sweep_config() {
+  engine::Config c;
   c.t_ecn = 0.40;
-  c.t_rtt_low = usec(60);
-  c.t_rtt_high = usec(180);
+  c.t_rtt_low = engine::usec(60);
+  c.t_rtt_high = engine::usec(180);
   return c;
 }
 
@@ -58,10 +58,10 @@ const char* name_of(Level l) {
 }
 
 /// Expected characterization per Table 5 / Algorithm 1.
-PathType expected(Level ecn, Level rtt) {
-  if (ecn == Level::kLow && rtt == Level::kLow) return PathType::kGood;
-  if (ecn == Level::kHigh && rtt == Level::kHigh) return PathType::kCongested;
-  return PathType::kGray;
+engine::PathType expected(Level ecn, Level rtt) {
+  if (ecn == Level::kLow && rtt == Level::kLow) return engine::PathType::kGood;
+  if (ecn == Level::kHigh && rtt == Level::kHigh) return engine::PathType::kCongested;
+  return engine::PathType::kGray;
 }
 
 class Table5Sweep : public ::testing::TestWithParam<std::tuple<Level, Level>> {};
@@ -69,12 +69,12 @@ class Table5Sweep : public ::testing::TestWithParam<std::tuple<Level, Level>> {}
 TEST_P(Table5Sweep, CharacterizationMatchesTable5) {
   const auto [ecn, rtt] = GetParam();
   const auto cfg = sweep_config();
-  PathState st;
+  engine::PathState st;
   int marked = 0;
   for (int i = 0; i < 500; ++i) {
     const bool mark = marked < ecn_for(ecn) * (i + 1);
     if (mark) ++marked;
-    st.add_sample(rtt_for(rtt), mark, cfg);
+    st.add_sample(rtt_for(rtt).ns(), mark, cfg);
   }
   EXPECT_EQ(st.characterize(cfg), expected(ecn, rtt))
       << "ecn=" << name_of(ecn) << " rtt=" << name_of(rtt);
@@ -109,6 +109,7 @@ TEST_P(GateSweep, SentSizeGateIsStrict) {
   auto cfg = HermesConfig::defaults_for(topo);
   cfg.probing_enabled = false;
   HermesLb h{simulator, topo, cfg};
+  const auto ecfg = cfg.engine_config(topo.host_rate_bps());
 
   // Path 0 congested, path 1 notably-better good.
   auto drive = [&](int idx, sim::SimTime rtt, double frac) {
@@ -117,13 +118,13 @@ TEST_P(GateSweep, SentSizeGateIsStrict) {
     for (int i = 0; i < 400; ++i) {
       const bool m = marked < frac * (i + 1);
       if (m) ++marked;
-      st.add_sample(rtt, m, cfg);
+      st.add_sample(rtt.ns(), m, ecfg);
     }
   };
   drive(0, cfg.t_rtt_high + usec(200), 0.9);
   drive(1, usec(25), 0.0);
 
-  lb::FlowCtx f;
+  FlowCtx f;
   f.flow_id = 1;
   f.src = 0;
   f.dst = 2;
@@ -146,7 +147,7 @@ INSTANTIATE_TEST_SUITE_P(AroundS, GateSweep,
                                            10'000'000u));
 
 }  // namespace
-}  // namespace hermes::core
+}  // namespace hermes::lb
 
 // --- DCTCP window arithmetic sweep ---------------------------------------
 

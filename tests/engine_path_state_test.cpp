@@ -1,22 +1,19 @@
 // Unit tests for Hermes's sensing state: the Algorithm 1 / Table 5
 // characterization truth table, signal smoothing, and the failure
-// detectors (blackhole handled in core_hermes_test; random drops here).
+// detectors (blackhole handled in engine_conformance_test and
+// lb_hermes_test; random drops here). Exercises the environment-neutral
+// hermes::engine types directly — no simulator involved.
 
 #include <gtest/gtest.h>
 
-#include "hermes/core/config.hpp"
-#include "hermes/core/path_state.hpp"
-#include "hermes/net/topology.hpp"
-#include "hermes/sim/simulator.hpp"
+#include "hermes/engine/config.hpp"
+#include "hermes/engine/path_state.hpp"
 
-namespace hermes::core {
+namespace hermes::engine {
 namespace {
 
-using sim::msec;
-using sim::usec;
-
-HermesConfig test_config() {
-  HermesConfig c;
+Config test_config() {
+  Config c;
   c.t_ecn = 0.40;
   c.t_rtt_low = usec(60);
   c.t_rtt_high = usec(180);
@@ -26,7 +23,7 @@ HermesConfig test_config() {
 }
 
 /// Drive the EWMAs to a steady (rtt, ecn_fraction) point.
-void saturate(PathState& st, sim::SimTime rtt, double ecn_frac, const HermesConfig& cfg) {
+void saturate(PathState& st, TimeNs rtt, double ecn_frac, const Config& cfg) {
   int marked = 0;
   for (int i = 0; i < 400; ++i) {
     const bool mark = (marked < ecn_frac * (i + 1));
@@ -111,7 +108,7 @@ TEST(RandomDropDetector, LatchesOnSustainedRetransmissions) {
   auto cfg = test_config();
   PathState st;
   saturate(st, usec(40), 0.0, cfg);  // path looks good (not congested)
-  sim::SimTime t{};
+  TimeNs t = 0;
   // Two epochs of 2% retransmission rate with enough samples.
   for (int epoch = 0; epoch < 2; ++epoch) {
     for (int i = 0; i < 200; ++i) st.add_send(1500, t, cfg);
@@ -127,7 +124,7 @@ TEST(RandomDropDetector, CongestionExplainsRetransmissions) {
   auto cfg = test_config();
   PathState st;
   saturate(st, usec(300), 0.9, cfg);  // genuinely congested
-  sim::SimTime t{};
+  TimeNs t = 0;
   for (int i = 0; i < 200; ++i) st.add_send(1500, t, cfg);
   for (int i = 0; i < 10; ++i) st.add_retransmit(t, cfg);
   t += cfg.retx_epoch + usec(1);
@@ -139,7 +136,7 @@ TEST(RandomDropDetector, TooFewSamplesDoNotLatch) {
   auto cfg = test_config();
   PathState st;
   saturate(st, usec(40), 0.0, cfg);
-  sim::SimTime t{};
+  TimeNs t = 0;
   for (int i = 0; i < 10; ++i) st.add_send(1500, t, cfg);  // < kMinEpochSends
   st.add_retransmit(t, cfg);                               // 10% rate but n=10
   t += cfg.retx_epoch + usec(1);
@@ -151,7 +148,7 @@ TEST(RandomDropDetector, CleanEpochsDoNotLatch) {
   auto cfg = test_config();
   PathState st;
   saturate(st, usec(40), 0.0, cfg);
-  sim::SimTime t{};
+  TimeNs t = 0;
   for (int epoch = 0; epoch < 5; ++epoch) {
     for (int i = 0; i < 500; ++i) st.add_send(1500, t, cfg);
     st.add_retransmit(t, cfg);  // 0.2% — below the 1% threshold
@@ -166,7 +163,7 @@ TEST(RandomDropDetector, FailureSensingToggleDisablesIt) {
   cfg.failure_sensing = false;
   PathState st;
   saturate(st, usec(40), 0.0, cfg);
-  sim::SimTime t{};
+  TimeNs t = 0;
   for (int i = 0; i < 200; ++i) st.add_send(1500, t, cfg);
   for (int i = 0; i < 20; ++i) st.add_retransmit(t, cfg);
   t += cfg.retx_epoch + usec(1);
@@ -197,7 +194,7 @@ TEST(FailureLatch, ExpiresWithoutFreshEvidence) {
   auto cfg = test_config();
   PathState st;
   st.fail(msec(1));
-  const auto past = msec(1) + cfg.failure_expiry + usec(1);
+  const TimeNs past = msec(1) + cfg.failure_expiry + usec(1);
   EXPECT_FALSE(st.failed_active(past, cfg));
   EXPECT_FALSE(st.failed());  // the latch itself cleared, not just the view
 }
@@ -244,33 +241,22 @@ TEST(FailureLatch, ClearedFaultReturnsToCongestionType) {
 
 TEST(FailureLatch, ZeroExpiryLatchesForever) {
   auto cfg = test_config();
-  cfg.failure_expiry = sim::SimTime::zero();
+  cfg.failure_expiry = 0;
   PathState st;
   st.fail(msec(1));
-  EXPECT_TRUE(st.failed_active(sim::sec(100), cfg));
+  EXPECT_TRUE(st.failed_active(sec(100), cfg));
 }
 
 TEST(PathState, RateDreAccumulatesSends) {
   auto cfg = test_config();
   PathState st;
-  sim::SimTime t{};
+  TimeNs t = 0;
   for (int i = 0; i < 1000; ++i) {
     st.add_send(1500, t, cfg);
-    t += sim::nsec(1200);  // 10Gbps pacing
+    t += nsec(1200);  // 10Gbps pacing
   }
   EXPECT_NEAR(st.rate_bps(t), 10e9, 2e9);
 }
 
-TEST(HermesConfigDefaults, DerivedFromTopology) {
-  sim::Simulator simulator{1};
-  net::Topology topo{simulator, net::TopologyConfig{}};
-  const auto cfg = HermesConfig::defaults_for(topo);
-  // one-hop delay at 10G/65pkts is 78us -> T_RTT_high ~= base + 117us.
-  EXPECT_GT(cfg.t_rtt_high, cfg.t_rtt_low);
-  EXPECT_NEAR(cfg.delta_rtt.to_usec(), 78.0, 1.0);
-  EXPECT_NEAR((cfg.t_rtt_high - topo.base_rtt()).to_usec(), 117.0, 2.0);
-  EXPECT_NEAR((cfg.t_rtt_low - topo.base_rtt()).to_usec(), 30.0, 0.1);
-}
-
 }  // namespace
-}  // namespace hermes::core
+}  // namespace hermes::engine

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
-#include "hermes/core/hermes_lb.hpp"
+#include <algorithm>
+#include <limits>
+
+#include "hermes/lb/hermes.hpp"
 #include "hermes/harness/scenario.hpp"
 #include "hermes/workload/flow_gen.hpp"
 
-namespace hermes::core {
+namespace hermes::lb {
 namespace {
 
 using sim::msec;
@@ -23,44 +26,44 @@ net::TopologyConfig topo4() {
 }
 
 TEST(FailureExpiry, LatchClearsAfterExpiry) {
-  HermesConfig cfg;
-  cfg.failure_expiry = msec(100);
-  PathState st;
-  st.fail(usec(0));
-  EXPECT_TRUE(st.failed_active(msec(50), cfg));
-  EXPECT_FALSE(st.failed_active(msec(101), cfg));
+  engine::Config cfg;
+  cfg.failure_expiry = engine::msec(100);
+  engine::PathState st;
+  st.fail(engine::usec(0));
+  EXPECT_TRUE(st.failed_active(engine::msec(50), cfg));
+  EXPECT_FALSE(st.failed_active(engine::msec(101), cfg));
 }
 
 TEST(FailureExpiry, BackoffDoublesPerRelatch) {
-  HermesConfig cfg;
-  cfg.failure_expiry = msec(100);
-  PathState st;
-  st.fail(usec(0));                                 // streak 1: expiry 100ms
-  EXPECT_FALSE(st.failed_active(msec(101), cfg));   // expired
-  st.fail(msec(101));                               // streak 2: expiry 200ms
-  EXPECT_TRUE(st.failed_active(msec(250), cfg));    // 149ms < 200ms: held
-  EXPECT_FALSE(st.failed_active(msec(302), cfg));   // expired again
-  st.fail(msec(302));                               // streak 3: expiry 400ms
-  EXPECT_TRUE(st.failed_active(msec(700), cfg));
+  engine::Config cfg;
+  cfg.failure_expiry = engine::msec(100);
+  engine::PathState st;
+  st.fail(engine::usec(0));                                 // streak 1: expiry 100ms
+  EXPECT_FALSE(st.failed_active(engine::msec(101), cfg));   // expired
+  st.fail(engine::msec(101));                               // streak 2: expiry 200ms
+  EXPECT_TRUE(st.failed_active(engine::msec(250), cfg));    // 149ms < 200ms: held
+  EXPECT_FALSE(st.failed_active(engine::msec(302), cfg));   // expired again
+  st.fail(engine::msec(302));                               // streak 3: expiry 400ms
+  EXPECT_TRUE(st.failed_active(engine::msec(700), cfg));
 }
 
 TEST(FailureExpiry, ZeroMeansPermanent) {
-  HermesConfig cfg;
-  cfg.failure_expiry = sim::SimTime::zero();
-  PathState st;
-  st.fail(usec(0));
-  EXPECT_TRUE(st.failed_active(sim::sec(100), cfg));
+  engine::Config cfg;
+  cfg.failure_expiry = 0;
+  engine::PathState st;
+  st.fail(engine::usec(0));
+  EXPECT_TRUE(st.failed_active(engine::sec(100), cfg));
 }
 
 TEST(FailureExpiry, ClearResetsStreak) {
-  HermesConfig cfg;
-  cfg.failure_expiry = msec(100);
-  PathState st;
-  st.fail(usec(0));
-  st.fail(usec(1));
+  engine::Config cfg;
+  cfg.failure_expiry = engine::msec(100);
+  engine::PathState st;
+  st.fail(engine::usec(0));
+  st.fail(engine::usec(1));
   st.clear_failure();
-  st.fail(msec(10));  // streak restarts at 1: expiry 100ms again
-  EXPECT_FALSE(st.failed_active(msec(111), cfg));
+  st.fail(engine::msec(10));  // streak restarts at 1: expiry 100ms again
+  EXPECT_FALSE(st.failed_active(engine::msec(111), cfg));
 }
 
 TEST(RerouteCooldown, SecondRerouteWaitsForGap) {
@@ -70,21 +73,22 @@ TEST(RerouteCooldown, SecondRerouteWaitsForGap) {
   cfg.probing_enabled = false;
   cfg.reroute_min_gap = msec(2);
   HermesLb h{simulator, topo, cfg};
+  const auto ecfg = cfg.engine_config(topo.host_rate_bps());
 
   auto congest = [&](int idx) {
     auto& st = h.path_state(0, 1, idx);
-    for (int i = 0; i < 300; ++i) st.add_sample(cfg.t_rtt_high + usec(200), true, cfg);
+    for (int i = 0; i < 300; ++i) st.add_sample((cfg.t_rtt_high + usec(200)).ns(), true, ecfg);
   };
   auto good = [&](int idx) {
     auto& st = h.path_state(0, 1, idx);
-    for (int i = 0; i < 300; ++i) st.add_sample(usec(25), false, cfg);
+    for (int i = 0; i < 300; ++i) st.add_sample(usec(25).ns(), false, ecfg);
   };
   congest(0);
   congest(1);
   good(2);
   good(3);
 
-  lb::FlowCtx f;
+  FlowCtx f;
   f.flow_id = 1;
   f.src = 0;
   f.dst = 2;
@@ -116,7 +120,7 @@ TEST(RerouteCooldown, FailureEscapeIgnoresCooldown) {
   cfg.reroute_min_gap = sim::sec(1);  // huge cooldown
   HermesLb h{simulator, topo, cfg};
 
-  lb::FlowCtx f;
+  FlowCtx f;
   f.flow_id = 1;
   f.src = 0;
   f.dst = 2;
@@ -128,7 +132,7 @@ TEST(RerouteCooldown, FailureEscapeIgnoresCooldown) {
   f.has_rerouted = true;
 
   // Current path latches failed: the flow must leave immediately.
-  h.path_state(0, 1, 0).fail(simulator.now());
+  h.path_state(0, 1, 0).fail(simulator.now().ns());
   net::Packet pkt;
   pkt.size = 1500;
   EXPECT_NE(topo.path(h.select_path(f, pkt)).local_index, 0);
@@ -144,14 +148,14 @@ TEST(ProberMemory, BestPathTracksLowestRtt) {
   auto* h = s.hermes();
   // All paths sampled; the recorded best is one of them and carries the
   // minimum RTT estimate.
-  sim::SimTime best_rtt = sim::SimTime::max();
+  auto best_rtt = std::numeric_limits<engine::TimeNs>::max();
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(h->path_state(0, 1, i).has_sample());
     best_rtt = std::min(best_rtt, h->path_state(0, 1, i).rtt());
   }
   int sampled = h->sampled_paths(0, 1);
   EXPECT_EQ(sampled, 4);
-  EXPECT_LT(best_rtt, usec(60));
+  EXPECT_LT(best_rtt, usec(60).ns());
 }
 
 TEST(ProberMemory, ReplyCountMatchesLossFreeFabric) {
@@ -207,4 +211,4 @@ TEST(EndToEnd, RerouteCountStaysModest) {
 }
 
 }  // namespace
-}  // namespace hermes::core
+}  // namespace hermes::lb

@@ -208,7 +208,7 @@ TEST(Integration, HermesTcpModeStillWorks) {
   cfg.tcp.dctcp = false;
   cfg.hermes.use_ecn = false;
   Scenario s{cfg};
-  const auto defaults = core::HermesConfig::defaults_for(s.topology());
+  const auto defaults = lb::HermesConfig::defaults_for(s.topology());
   (void)defaults;
   workload::TrafficConfig tc{.load = 0.5, .num_flows = 300, .seed = 3};
   s.add_flows(workload::generate_poisson_traffic(s.topology(),

@@ -1,6 +1,7 @@
-// Unit tests for the Hermes load balancer: Algorithm 2's rerouting
-// decisions and cautious gates, blackhole detection per host pair, and
-// power-of-two-choices probing.
+// Unit tests for the Hermes load balancer adapter (lb::HermesLb over
+// engine::Engine): Algorithm 2's rerouting decisions and cautious gates,
+// blackhole detection per host pair, and power-of-two-choices probing —
+// all driven through the simulator-facing lb::LoadBalancer surface.
 
 #include <cstddef>
 #include <cstdint>
@@ -8,12 +9,12 @@
 
 #include <set>
 
-#include "hermes/core/hermes_lb.hpp"
+#include "hermes/lb/hermes.hpp"
 #include "hermes/harness/scenario.hpp"
 #include "hermes/net/topology.hpp"
 #include "hermes/sim/simulator.hpp"
 
-namespace hermes::core {
+namespace hermes::lb {
 namespace {
 
 using sim::msec;
@@ -33,8 +34,8 @@ HermesConfig cfg_for(const net::Topology& topo) {
   return c;
 }
 
-lb::FlowCtx make_flow(const net::Topology& topo, std::uint64_t id, int src, int dst) {
-  lb::FlowCtx f;
+FlowCtx make_flow(const net::Topology& topo, std::uint64_t id, int src, int dst) {
+  FlowCtx f;
   f.flow_id = id;
   f.src = src;
   f.dst = dst;
@@ -52,34 +53,40 @@ net::Packet data_packet() {
 }
 
 /// Make a path's state read as (rtt, ecn).
-void set_state(HermesLb& h, const HermesConfig& cfg, int a, int b, int idx, sim::SimTime rtt,
+void set_state(HermesLb& h, const engine::Config& ecfg, int a, int b, int idx, sim::SimTime rtt,
                double ecn) {
   auto& st = h.path_state(a, b, idx);
   int marked = 0;
   for (int i = 0; i < 300; ++i) {
     const bool m = marked < ecn * (i + 1);
     if (m) ++marked;
-    st.add_sample(rtt, m, cfg);
+    st.add_sample(rtt.ns(), m, ecfg);
   }
 }
 
 class HermesLbTest : public ::testing::Test {
  protected:
   HermesLbTest()
-      : simulator{1}, topo{simulator, topo4()}, cfg{cfg_for(topo)}, h{simulator, topo, cfg} {}
+      : simulator{1},
+        topo{simulator, topo4()},
+        cfg{cfg_for(topo)},
+        ecfg{cfg.engine_config(topo.host_rate_bps())},
+        h{simulator, topo, cfg} {}
 
   sim::Simulator simulator;
   net::Topology topo;
   HermesConfig cfg;
+  engine::Config ecfg;
   HermesLb h;
 };
 
 TEST_F(HermesLbTest, NewFlowPrefersGoodPathWithLeastRate) {
   // Paths 0,1 good; 2 gray; 3 congested. Path 1 good but busy.
-  set_state(h, cfg, 0, 1, 0, usec(30), 0.0);
-  set_state(h, cfg, 0, 1, 1, usec(30), 0.0);
-  set_state(h, cfg, 0, 1, 3, topo.base_rtt() + usec(400), 0.9);
-  for (int i = 0; i < 100; ++i) h.path_state(0, 1, 1).add_send(15000, simulator.now(), cfg);
+  set_state(h, ecfg, 0, 1, 0, usec(30), 0.0);
+  set_state(h, ecfg, 0, 1, 1, usec(30), 0.0);
+  set_state(h, ecfg, 0, 1, 3, topo.base_rtt() + usec(400), 0.9);
+  for (int i = 0; i < 100; ++i)
+    h.path_state(0, 1, 1).add_send(15000, simulator.now().ns(), ecfg);
 
   auto f = make_flow(topo, 1, 0, 2);
   const int chosen = h.select_path(f, data_packet());
@@ -88,14 +95,14 @@ TEST_F(HermesLbTest, NewFlowPrefersGoodPathWithLeastRate) {
 
 TEST_F(HermesLbTest, NewFlowFallsBackToGrayThenRandom) {
   // No good paths: 0 congested, 1,2,3 unknown (gray).
-  set_state(h, cfg, 0, 1, 0, topo.base_rtt() + usec(400), 0.9);
+  set_state(h, ecfg, 0, 1, 0, topo.base_rtt() + usec(400), 0.9);
   auto f = make_flow(topo, 1, 0, 2);
   const int chosen = h.select_path(f, data_packet());
   EXPECT_NE(topo.path(chosen).local_index, 0);  // any gray path, not congested
 }
 
 TEST_F(HermesLbTest, StaysOnPathWhenNotCongested) {
-  set_state(h, cfg, 0, 1, 0, usec(30), 0.0);
+  set_state(h, ecfg, 0, 1, 0, usec(30), 0.0);
   auto f = make_flow(topo, 1, 0, 2);
   const int first = h.select_path(f, data_packet());
   f.current_path = first;
@@ -107,8 +114,8 @@ TEST_F(HermesLbTest, StaysOnPathWhenNotCongested) {
 
 TEST_F(HermesLbTest, ReroutesOffCongestedPathWhenGatesPass) {
   const auto& paths = topo.paths_between_leaves(0, 1);
-  set_state(h, cfg, 0, 1, 0, cfg.t_rtt_high + usec(100), 0.9);  // congested
-  set_state(h, cfg, 0, 1, 2, usec(30), 0.0);                    // notably better good
+  set_state(h, ecfg, 0, 1, 0, cfg.t_rtt_high + usec(100), 0.9);  // congested
+  set_state(h, ecfg, 0, 1, 2, usec(30), 0.0);                    // notably better good
   auto f = make_flow(topo, 1, 0, 2);
   f.current_path = paths[0].id;
   f.has_sent = true;
@@ -120,8 +127,8 @@ TEST_F(HermesLbTest, ReroutesOffCongestedPathWhenGatesPass) {
 
 TEST_F(HermesLbTest, SentSizeGateBlocksSmallFlows) {
   const auto& paths = topo.paths_between_leaves(0, 1);
-  set_state(h, cfg, 0, 1, 0, cfg.t_rtt_high + usec(100), 0.9);
-  set_state(h, cfg, 0, 1, 2, usec(30), 0.0);
+  set_state(h, ecfg, 0, 1, 0, cfg.t_rtt_high + usec(100), 0.9);
+  set_state(h, ecfg, 0, 1, 2, usec(30), 0.0);
   auto f = make_flow(topo, 1, 0, 2);
   f.current_path = paths[0].id;
   f.has_sent = true;
@@ -131,8 +138,8 @@ TEST_F(HermesLbTest, SentSizeGateBlocksSmallFlows) {
 
 TEST_F(HermesLbTest, HighRateGateBlocksFastFlows) {
   const auto& paths = topo.paths_between_leaves(0, 1);
-  set_state(h, cfg, 0, 1, 0, cfg.t_rtt_high + usec(100), 0.9);
-  set_state(h, cfg, 0, 1, 2, usec(30), 0.0);
+  set_state(h, ecfg, 0, 1, 0, cfg.t_rtt_high + usec(100), 0.9);
+  set_state(h, ecfg, 0, 1, 2, usec(30), 0.0);
   auto f = make_flow(topo, 1, 0, 2);
   f.current_path = paths[0].id;
   f.has_sent = true;
@@ -147,8 +154,8 @@ TEST_F(HermesLbTest, NotablyBetterRequiresBothMargins) {
   const auto& paths = topo.paths_between_leaves(0, 1);
   // Current path congested. Candidate has much lower RTT but its ECN
   // fraction is only slightly lower: not notably better per Algorithm 2.
-  set_state(h, cfg, 0, 1, 0, cfg.t_rtt_high + usec(100), 0.45);
-  set_state(h, cfg, 0, 1, 1, usec(30), 0.42);
+  set_state(h, ecfg, 0, 1, 0, cfg.t_rtt_high + usec(100), 0.45);
+  set_state(h, ecfg, 0, 1, 1, usec(30), 0.42);
   auto f = make_flow(topo, 1, 0, 2);
   f.current_path = paths[0].id;
   f.has_sent = true;
@@ -158,7 +165,7 @@ TEST_F(HermesLbTest, NotablyBetterRequiresBothMargins) {
 
 TEST_F(HermesLbTest, TimeoutForcesFreshSelection) {
   const auto& paths = topo.paths_between_leaves(0, 1);
-  set_state(h, cfg, 0, 1, 2, usec(30), 0.0);  // a good escape path
+  set_state(h, ecfg, 0, 1, 2, usec(30), 0.0);  // a good escape path
   auto f = make_flow(topo, 1, 0, 2);
   f.current_path = paths[0].id;
   f.has_sent = true;
@@ -172,9 +179,10 @@ TEST_F(HermesLbTest, ReroutingDisabledStaysOnCongestedPath) {
   auto cfg2 = cfg;
   cfg2.rerouting_enabled = false;
   HermesLb h2{simulator, topo, cfg2};
+  const auto ecfg2 = cfg2.engine_config(topo.host_rate_bps());
   const auto& paths = topo.paths_between_leaves(0, 1);
-  set_state(h2, cfg2, 0, 1, 0, cfg2.t_rtt_high + usec(100), 0.9);
-  set_state(h2, cfg2, 0, 1, 2, usec(30), 0.0);
+  set_state(h2, ecfg2, 0, 1, 0, cfg2.t_rtt_high + usec(100), 0.9);
+  set_state(h2, ecfg2, 0, 1, 2, usec(30), 0.0);
   auto f = make_flow(topo, 1, 0, 2);
   f.current_path = paths[0].id;
   f.has_sent = true;
@@ -252,11 +260,12 @@ TEST_F(HermesLbTest, AllPathsBlackholedStillTransmits) {
 TEST_F(HermesLbTest, RetransmitAccountingFeedsPathState) {
   const auto& paths = topo.paths_between_leaves(0, 1);
   auto f = make_flow(topo, 1, 0, 2);
-  for (int i = 0; i < 100; ++i) h.path_state(0, 1, 0).add_send(1500, simulator.now(), cfg);
+  for (int i = 0; i < 100; ++i)
+    h.path_state(0, 1, 0).add_send(1500, simulator.now().ns(), ecfg);
   h.on_retransmit(f, paths[0].id);
   // Roll the epoch and confirm the fraction reflects 1/100.
   auto& st = h.path_state(0, 1, 0);
-  st.roll_epoch(simulator.now() + cfg.retx_epoch + usec(1), cfg);
+  st.roll_epoch((simulator.now() + cfg.retx_epoch + usec(1)).ns(), ecfg);
   EXPECT_NEAR(st.retx_fraction(), 0.01, 0.001);
 }
 
@@ -271,13 +280,38 @@ TEST_F(HermesLbTest, AckSampleUpdatesPathState) {
   simulator.run_until(usec(101));
   h.on_ack(f, ack);
   EXPECT_TRUE(h.path_state(0, 1, 2).has_sample());
-  EXPECT_EQ(h.path_state(0, 1, 2).rtt(), usec(100));
+  EXPECT_EQ(h.path_state(0, 1, 2).rtt(), usec(100).ns());
   EXPECT_DOUBLE_EQ(h.path_state(0, 1, 2).ecn_fraction(), 1.0);
 }
 
 TEST_F(HermesLbTest, IntraRackFlowsBypassHermes) {
   auto f = make_flow(topo, 1, 0, 1);
   EXPECT_EQ(h.select_path(f, data_packet()), -1);
+}
+
+TEST(HermesConfigDefaults, DerivedFromTopology) {
+  sim::Simulator simulator{1};
+  net::Topology topo{simulator, net::TopologyConfig{}};
+  const auto cfg = HermesConfig::defaults_for(topo);
+  // one-hop delay at 10G/65pkts is 78us -> T_RTT_high ~= base + 117us.
+  EXPECT_GT(cfg.t_rtt_high, cfg.t_rtt_low);
+  EXPECT_NEAR(cfg.delta_rtt.to_usec(), 78.0, 1.0);
+  EXPECT_NEAR((cfg.t_rtt_high - topo.base_rtt()).to_usec(), 117.0, 2.0);
+  EXPECT_NEAR((cfg.t_rtt_low - topo.base_rtt()).to_usec(), 30.0, 0.1);
+}
+
+TEST(HermesConfigLowering, EngineConfigMatchesSimConfig) {
+  sim::Simulator simulator{1};
+  net::Topology topo{simulator, net::TopologyConfig{}};
+  const auto cfg = HermesConfig::defaults_for(topo);
+  const auto e = cfg.engine_config(topo.host_rate_bps());
+  EXPECT_EQ(e.t_rtt_low, cfg.t_rtt_low.ns());
+  EXPECT_EQ(e.t_rtt_high, cfg.t_rtt_high.ns());
+  EXPECT_EQ(e.delta_rtt, cfg.delta_rtt.ns());
+  EXPECT_DOUBLE_EQ(e.reroute_rate_limit_bps, cfg.rate_threshold_frac * topo.host_rate_bps());
+  EXPECT_EQ(e.failure_expiry, cfg.failure_expiry.ns());
+  EXPECT_EQ(e.reroute_min_gap, cfg.reroute_min_gap.ns());
+  EXPECT_EQ(e.blackhole_timeouts, cfg.blackhole_timeouts);
 }
 
 // --- probing (wired through a real scenario) ----------------------------
@@ -333,11 +367,11 @@ TEST(HermesProbing, IdleFabricProbesReadGood) {
   for (int i = 0; i < 4; ++i) {
     if (!h->path_state(0, 1, i).has_sample()) continue;
     ++total;
-    if (h->path_type(0, 1, i) == PathType::kGood) ++good;
+    if (h->path_type(0, 1, i) == engine::PathType::kGood) ++good;
   }
   EXPECT_GT(total, 2);
   EXPECT_EQ(good, total);  // an idle fabric is all-good
 }
 
 }  // namespace
-}  // namespace hermes::core
+}  // namespace hermes::lb

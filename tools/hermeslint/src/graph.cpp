@@ -18,8 +18,8 @@ struct ModuleRank {
 };
 
 constexpr ModuleRank kRanks[] = {
-    {"sim", 0},      {"obs", 0},      {"lint", 0},   {"net", 1},
-    {"lb", 2},       {"core", 3},     {"transport", 3}, {"faults", 3},
+    {"engine", 0},   {"sim", 0},      {"obs", 0},    {"lint", 0},   {"net", 1},
+    {"lb", 2},       {"transport", 3}, {"faults", 3},
     {"stats", 4},    {"workload", 4}, {"harness", 5},
     {"bench", 6},    {"tests", 6},    {"examples", 6},  {"tools", 6},
 };
@@ -34,6 +34,7 @@ struct IndexedNamespace {
 
 const std::vector<IndexedNamespace>& indexed_namespaces() {
   static const std::vector<IndexedNamespace> kNs = {
+      {"engine", {"hermes", "engine"}},
       {"obs", {"hermes", "obs"}},
       {"fuzz", {"hermes", "faults", "fuzz"}},
       {"lint", {"hermes", "lint"}},

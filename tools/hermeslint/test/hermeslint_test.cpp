@@ -397,8 +397,8 @@ TEST(HermeslintGraph, ModuleOfPathAndRanks) {
   EXPECT_EQ(module_of_path("random/other.cpp"), "");
   EXPECT_LT(layer_rank("sim"), layer_rank("net"));
   EXPECT_LT(layer_rank("net"), layer_rank("lb"));
-  EXPECT_LT(layer_rank("lb"), layer_rank("core"));
-  EXPECT_LT(layer_rank("core"), layer_rank("stats"));
+  EXPECT_LT(layer_rank("engine"), layer_rank("lb"));
+  EXPECT_LT(layer_rank("lb"), layer_rank("stats"));
   EXPECT_LT(layer_rank("stats"), layer_rank("harness"));
   EXPECT_LT(layer_rank("harness"), layer_rank("bench"));
   EXPECT_EQ(layer_rank("nonexistent"), -1);
